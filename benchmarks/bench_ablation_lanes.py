@@ -1,0 +1,39 @@
+"""Ablation: MOM vector-unit width (1, 2 and 4 parallel pipes).
+
+The paper fixes the media unit at two pipes; this bench verifies the
+design point: one pipe leaves stream arithmetic throughput-bound, while
+four pipes buy little because the workload is integer-dominated (Amdahl —
+the paper's own argument for why DLP hardware alone cannot win).
+"""
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import SMTConfig, SMTProcessor
+from repro.memory import PerfectMemory
+from repro.workloads import build_workload_traces
+
+
+def _run(lanes: int, scale: float) -> float:
+    config = SMTConfig(isa="mom", n_threads=4, vector_lanes=lanes)
+    traces = build_workload_traces("mom", scale=scale)
+    return SMTProcessor(config, PerfectMemory(), traces).run().eipc
+
+
+def test_vector_lane_ablation(benchmark, bench_scale):
+    def sweep():
+        return {lanes: _run(lanes, bench_scale) for lanes in (1, 2, 4)}
+
+    results = run_once(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["lanes", "EIPC (4 threads, ideal memory)"],
+            [[lanes, eipc] for lanes, eipc in results.items()],
+            title="Ablation — MOM vector pipes",
+        )
+    )
+    assert results[2] >= results[1]          # second pipe helps
+    # Doubling again buys far less than the first doubling (integer-bound).
+    first_gain = results[2] - results[1]
+    second_gain = results[4] - results[2]
+    assert second_gain <= first_gain + 0.05

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (performance with perfect cache)."""
+
+from conftest import run_once
+from repro.analysis import run_fig4_ideal
+
+
+def test_fig4_ideal_memory(benchmark, bench_scale, bench_threads):
+    result = run_once(
+        benchmark, run_fig4_ideal, scale=bench_scale, threads=bench_threads
+    )
+    print("\n" + result.report)
+    measured = result.measured
+    low, high = min(bench_threads), max(bench_threads)
+    # Shape: SMT scales both ISAs by roughly 2x from 1 to 8 threads...
+    assert measured["mmx"][high] > 1.6 * measured["mmx"][low]
+    assert measured["mom"][high] > 1.6 * measured["mom"][low]
+    # ...and MOM outperforms MMX at every thread count.
+    for n in bench_threads:
+        assert measured["mom"][n] > measured["mmx"][n]
+    # Headline: SMT+MOM @8T is well over 2x the 8-way superscalar w/ MMX.
+    assert measured["mom"][high] / measured["mmx"][low] > 2.0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 5 (performance under real memory)."""
+
+from conftest import run_once
+from repro.analysis import run_fig5_real
+
+
+def test_fig5_real_memory(benchmark, bench_scale, bench_threads):
+    result = run_once(
+        benchmark, run_fig5_real, scale=bench_scale, threads=bench_threads
+    )
+    print("\n" + result.report)
+    eipc = result.measured["eipc"]
+    degradation = result.measured["degradation"]
+    # Shape: the real memory system costs both ISAs real throughput...
+    assert 0.05 < degradation["mmx"] < 0.6
+    assert 0.05 < degradation["mom"] < 0.6
+    # ...and MOM still delivers more equivalent work than MMX throughout.
+    for n in bench_threads:
+        assert eipc["mom"][n] > 0.9 * eipc["mmx"][n]
+    # Diminishing returns: going 4 -> 8 threads buys little or nothing
+    # (the paper's central figure-5 observation).
+    if 4 in bench_threads and 8 in bench_threads:
+        assert eipc["mom"][8] < 1.15 * eipc["mom"][4]

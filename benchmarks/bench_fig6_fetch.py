@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (fetch policies, conventional memory)."""
+
+from conftest import run_once
+from repro.analysis import run_fig6_fetch
+
+
+def test_fig6_fetch_policies(benchmark, bench_scale, bench_threads):
+    result = run_once(
+        benchmark, run_fig6_fetch, scale=bench_scale, threads=bench_threads
+    )
+    print("\n" + result.report)
+    top = max(bench_threads)
+    eipc = result.measured["eipc"]
+    # Policies are a second-order effect: within ~15 % of round-robin.
+    for isa in ("mmx", "mom"):
+        rr = eipc[isa]["rr"][top]
+        for policy, series in eipc[isa].items():
+            assert abs(series[top] / rr - 1) < 0.2, (isa, policy)
+    # OCOUNT exists only for MOM (it reads the stream-length register).
+    assert "ocount" in eipc["mom"]
+    assert "ocount" not in eipc["mmx"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (fetch policies, decoupled hierarchy)."""
+
+from conftest import run_once
+from repro.analysis import run_fig8_decoupled
+
+
+def test_fig8_decoupled_hierarchy(benchmark, bench_scale, bench_threads):
+    result = run_once(
+        benchmark, run_fig8_decoupled, scale=bench_scale, threads=bench_threads
+    )
+    print("\n" + result.report)
+    eipc = result.measured["eipc"]
+    # Every configuration still completes the workload sensibly.
+    for isa in ("mmx", "mom"):
+        for series in eipc[isa].values():
+            for value in series.values():
+                assert value > 0.5
+    # MOM gains more from decoupling-aware fetch than MMX does (the
+    # paper: up to 7 % for MOM, almost nothing for MMX).
+    assert result.measured["gain"]["mom"] >= result.measured["gain"]["mmx"] - 0.05

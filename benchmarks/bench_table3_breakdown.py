@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 3 (instruction breakdown and counts)."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import run_breakdown_table3
+from repro.analysis import paper
+
+
+def test_table3_breakdown(benchmark, bench_scale):
+    result = run_once(benchmark, run_breakdown_table3, scale=bench_scale)
+    print("\n" + result.report)
+    # Shape assertions: totals within a few percent of 1429/1087 M.
+    total_mmx = sum(m["mmx"]["minsts"] for m in result.measured.values())
+    total_mmx += result.measured["mpeg2dec"]["mmx"]["minsts"]
+    total_mom = sum(m["mom"]["minsts"] for m in result.measured.values())
+    total_mom += result.measured["mpeg2dec"]["mom"]["minsts"]
+    assert total_mmx == pytest.approx(paper.TABLE3_TOTALS["mmx"], rel=0.03)
+    assert total_mom == pytest.approx(paper.TABLE3_TOTALS["mom"], rel=0.03)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 4 (cache behaviour vs. thread count)."""
+
+from conftest import run_once
+from repro.analysis import run_table4_cache
+
+
+def test_table4_cache_behaviour(benchmark, bench_scale, bench_threads):
+    result = run_once(
+        benchmark, run_table4_cache, scale=bench_scale, threads=bench_threads
+    )
+    print("\n" + result.report)
+    low, high = min(bench_threads), max(bench_threads)
+    for isa in ("mmx", "mom"):
+        l1 = result.measured["l1_hit"][isa]
+        icache = result.measured["icache_hit"][isa]
+        latency = result.measured["l1_latency"][isa]
+        # Inter-thread interference: hit rates fall, latency rises.
+        assert l1[low] > l1[high]
+        assert icache[low] >= icache[high]
+        assert latency[high] > latency[low]
+        # Single-thread locality is high (algorithm-level reuse).
+        assert l1[low] > 0.95
+    # MOM pays comparable-or-more L1 latency at one thread (stream
+    # element queuing), as in the paper's Table 4 (1.74 vs 1.39).  Small
+    # bench scales carry a little noise, hence the tolerance.
+    assert (
+        result.measured["l1_latency"]["mom"][low]
+        > 0.75 * result.measured["l1_latency"]["mmx"][low]
+    )

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""SMT vs CMP on the media workload (the paper's section-3 debate).
+
+The paper chooses SMT over CMP because SMT keeps single-thread
+performance high when thread-level parallelism is scarce (Amdahl), while
+a CMP of simple cores wins silicon simplicity.  This example runs both:
+an 8-thread SMT and CMPs of 2-8 simple cores, on the same workload,
+ISA and shared L2/DRDRAM.
+
+Run:  python examples/cmp_vs_smt.py
+"""
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.core.cmp import CmpSystem
+from repro.memory import ConventionalHierarchy
+from repro.workloads import build_workload_traces
+
+SCALE = 2e-5
+ISA = "mom"
+
+
+def run_smt(n_threads: int):
+    traces = build_workload_traces(ISA, scale=SCALE)
+    return SMTProcessor(
+        SMTConfig(isa=ISA, n_threads=n_threads),
+        ConventionalHierarchy(),
+        traces,
+    ).run()
+
+
+def run_cmp(n_cores: int):
+    traces = build_workload_traces(ISA, scale=SCALE)
+    return CmpSystem(ISA, n_cores, traces).run()
+
+
+def main() -> None:
+    print(f"workload: 8-program media mix, ISA={ISA}, scale={SCALE}\n")
+    print(f"{'machine':>22s}  {'EIPC':>6s}  {'L1 hit':>7s}")
+    smt1 = run_smt(1)
+    print(f"{'1-thread wide core':>22s}  {smt1.eipc:6.2f}  {smt1.memory.l1.hit_rate:7.1%}")
+    for cores in (2, 4, 8):
+        result = run_cmp(cores)
+        print(
+            f"{f'CMP x{cores} simple cores':>22s}  {result.eipc:6.2f}  "
+            f"{result.memory.l1.hit_rate:7.1%}"
+        )
+    smt8 = run_smt(8)
+    print(f"{'SMT x8 contexts':>22s}  {smt8.eipc:6.2f}  {smt8.memory.l1.hit_rate:7.1%}")
+    print(
+        "\nThe SMT shares one wide pipeline (strong with few threads); the\n"
+        "CMP multiplies narrow pipelines (strong when TLP is abundant but\n"
+        "each stream is capped by its core's width) — the trade-off the\n"
+        "paper describes when picking SMT for media workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

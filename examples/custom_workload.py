@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Define your own media workload and run it on the paper's machines.
+
+Models a two-way video-conference client: an H.26x-style encoder and two
+decoders (the remote party's stream plus a self-view), a speech codec
+pair, and a compositing/UI task — then compares SMT+MMX and SMT+MOM on
+it.  Everything below uses only the public API.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core import FetchPolicy, SMTConfig, SMTProcessor
+from repro.memory import ConventionalHierarchy
+from repro.workloads.custom import (
+    build_custom_workload,
+    define_program,
+    remove_program,
+)
+
+SCALE = 3e-5
+
+PROGRAMS = {
+    "h26x_enc": dict(
+        minsts=380.0, frac_int=0.58, frac_fp=0.005, frac_simd=0.25,
+        frac_mem=0.165, vector_profile="motion_search",
+        description="videoconf encoder (motion search dominated)",
+    ),
+    "h26x_dec": dict(
+        minsts=90.0, frac_int=0.61, frac_fp=0.005, frac_simd=0.15,
+        frac_mem=0.235, vector_profile="block_transform",
+        description="videoconf decoder",
+    ),
+    "speech": dict(
+        minsts=110.0, frac_int=0.68, frac_fp=0.0, frac_simd=0.10,
+        frac_mem=0.22, vector_profile="stream_filter",
+        description="speech codec (both directions)",
+    ),
+    "compositor": dict(
+        minsts=70.0, frac_int=0.62, frac_fp=0.16, frac_simd=0.0,
+        frac_mem=0.22, vector_profile="scalar_only",
+        description="scene compositing + UI",
+    ),
+}
+
+#: The conference client's eight concurrent tasks.
+MIX = [
+    "h26x_enc", "h26x_dec", "h26x_dec", "speech",
+    "speech", "compositor", "h26x_dec", "h26x_enc",
+]
+
+
+def main() -> None:
+    for name, spec in PROGRAMS.items():
+        define_program(name, **spec)
+    try:
+        print("video-conference workload on the paper's 8-thread machines\n")
+        results = {}
+        for isa in ("mmx", "mom"):
+            traces = build_custom_workload(MIX, isa, scale=SCALE)
+            policy = FetchPolicy.OCOUNT if isa == "mom" else FetchPolicy.ICOUNT
+            result = SMTProcessor(
+                SMTConfig(isa=isa, n_threads=8),
+                ConventionalHierarchy(),
+                traces,
+                fetch_policy=policy,
+            ).run()
+            results[isa] = result
+            print(
+                f"SMT+{isa.upper():4s}: EIPC={result.eipc:.2f} "
+                f"L1={result.memory.l1.hit_rate:.1%} "
+                f"I$={result.memory.icache.hit_rate:.1%}"
+            )
+        gain = results["mom"].eipc / results["mmx"].eipc - 1
+        print(
+            f"\nThe streaming ISA delivers {gain:+.0%} equivalent throughput "
+            "on this\nuser-defined workload — the paper's conclusion is not "
+            "specific to its\nexact Mediabench mix."
+        )
+    finally:
+        for name in PROGRAMS:
+            remove_program(name)
+
+
+if __name__ == "__main__":
+    main()

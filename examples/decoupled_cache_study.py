@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Decoupled cache hierarchy study (paper §5.4, figures 7-9).
+
+Compares three memory organizations for the 8-thread SMT+MOM machine:
+
+* perfect    — no misses, no bank conflicts (upper bound),
+* conventional — 4 shared ports into the 32 KB direct-mapped L1,
+* decoupled  — 2 scalar ports into L1, 2 stream ports straight into the
+  banked L2 (exclusive-bit coherence), which rescues the L1 from
+  inter-thread stream interference.
+
+Run:  python examples/decoupled_cache_study.py
+"""
+
+from repro.core import FetchPolicy, SMTConfig, SMTProcessor
+from repro.memory import (
+    ConventionalHierarchy,
+    DecoupledHierarchy,
+    PerfectMemory,
+)
+from repro.workloads import build_workload_traces
+
+SCALE = 2e-5
+
+MEMORIES = {
+    "perfect": PerfectMemory,
+    "conventional": ConventionalHierarchy,
+    "decoupled": DecoupledHierarchy,
+}
+
+
+def run(isa: str, n_threads: int, memory_name: str):
+    traces = build_workload_traces(isa, scale=SCALE)
+    policy = FetchPolicy.OCOUNT if isa == "mom" else FetchPolicy.ICOUNT
+    processor = SMTProcessor(
+        SMTConfig(isa=isa, n_threads=n_threads),
+        MEMORIES[memory_name](),
+        traces,
+        fetch_policy=policy,
+    )
+    return processor.run()
+
+
+def main() -> None:
+    print("SMT+MOM with 4 and 8 threads under three memory organizations\n")
+    print(f"{'memory':>14s}  {'T=4 EIPC':>9s}  {'T=8 EIPC':>9s}  "
+          f"{'L1 hit @8T':>10s}  {'coherence inv.':>14s}")
+    ideal8 = None
+    for name in MEMORIES:
+        r4 = run("mom", 4, name)
+        r8 = run("mom", 8, name)
+        if name == "perfect":
+            ideal8 = r8.eipc
+        print(
+            f"{name:>14s}  {r4.eipc:9.2f}  {r8.eipc:9.2f}  "
+            f"{r8.memory.l1.hit_rate:10.1%}  "
+            f"{r8.memory.coherence_invalidations:14d}"
+        )
+    degraded = 1 - run("mom", 8, "decoupled").eipc / ideal8
+    print(
+        f"\nDecoupling keeps MOM within ~{degraded:.0%} of ideal memory at 8 "
+        "threads\n(the paper reports 15%, versus 30% for SMT+MMX): stream "
+        "accesses tolerate the\n12-cycle L2 latency, and the scalar working "
+        "set keeps the L1 to itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fetch-policy study: RR vs ICOUNT vs OCOUNT vs BALANCE (paper §5.3).
+
+Sweeps the four fetch thread-selection policies on an 8-thread SMT+MOM
+machine with the real memory hierarchy and shows which policy best mixes
+scalar and vector instructions.  OCOUNT — ICOUNT made stream-aware via
+the stream-length register — is the paper's winner for MOM.
+
+Run:  python examples/fetch_policy_study.py
+"""
+
+from repro.core import FetchPolicy, SMTConfig, SMTProcessor
+from repro.memory import ConventionalHierarchy
+from repro.workloads import build_workload_traces
+
+SCALE = 2e-5
+THREADS = 8
+
+
+def main() -> None:
+    print(f"8-thread SMT+MOM, conventional hierarchy, scale={SCALE}\n")
+    print(f"{'policy':>8s}  {'EIPC':>6s}  {'vs RR':>7s}  {'vector-only cycles':>18s}")
+    baseline = None
+    for policy in (
+        FetchPolicy.RR,
+        FetchPolicy.ICOUNT,
+        FetchPolicy.OCOUNT,
+        FetchPolicy.BALANCE,
+    ):
+        traces = build_workload_traces("mom", scale=SCALE)
+        processor = SMTProcessor(
+            SMTConfig(isa="mom", n_threads=THREADS),
+            ConventionalHierarchy(),
+            traces,
+            fetch_policy=policy,
+        )
+        result = processor.run()
+        if baseline is None:
+            baseline = result.eipc
+        print(
+            f"{policy.value:>8s}  {result.eipc:6.2f}  "
+            f"{result.eipc / baseline - 1:+6.1%}  "
+            f"{result.vector_only_fraction:18.1%}"
+        )
+    print(
+        "\nThe paper finds policies matter only at high thread counts, "
+        "buying up to ~9% over round-robin; OCOUNT leads for MOM because "
+        "a queued stream instruction represents up to 16 operations."
+    )
+
+
+if __name__ == "__main__":
+    main()

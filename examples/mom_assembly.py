@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Writing MOM streaming-SIMD assembly against the architectural machine.
+
+Shows the ISA from the programmer's side: a dot product and a motion-
+estimation SAD written with real MOM mnemonics, assembled, executed on
+the architectural-state machine, and verified against numpy — and the
+instruction-count comparison that motivates the whole paper (one stream
+opcode does the work of an unrolled MMX loop).
+
+Run:  python examples/mom_assembly.py
+"""
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.datatypes import ElementType as ET, pack_lanes
+from repro.isa.machine import MediaMachine
+
+DOT_PRODUCT = """
+    # r1 = &a, r2 = &b   (64 int16 samples each)
+    li       r1, 0x1000
+    li       r2, 0x2000
+    setslri  16              # one full stream = 16 x 64-bit words
+    vclracc  a0
+    vldq     v0, r1, 0, 8    # stream load a[0..63]
+    vldq     v1, r2, 0, 8    # stream load b[0..63]
+    vmaddawd a0, v0, v1      # 64 MACs in one opcode
+"""
+
+SAD_16x8 = """
+    li       r1, 0x3000
+    li       r2, 0x4000
+    setslri  16
+    vclracc  a1
+    vldq     v2, r1, 0, 8
+    vldq     v3, r2, 0, 8
+    vsadab   a1, v2, v3      # 128 absolute differences, one opcode
+"""
+
+
+def load_i16(machine, base, values):
+    for i in range(0, len(values), 4):
+        quad = [int(v) for v in values[i : i + 4]]
+        machine.memory.write(base + i * 2, pack_lanes(quad, ET.INT16), 8)
+
+
+def load_u8(machine, base, values):
+    for i in range(0, len(values), 8):
+        octet = [int(v) for v in values[i : i + 8]]
+        machine.memory.write(base + i, pack_lanes(octet, ET.UINT8), 8)
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    machine = MediaMachine()
+
+    a = rng.integers(-300, 300, 64)
+    b = rng.integers(-300, 300, 64)
+    load_i16(machine, 0x1000, a)
+    load_i16(machine, 0x2000, b)
+    program = assemble(DOT_PRODUCT)
+    machine = program.run(machine)
+    print("64-element dot product")
+    print(f"  MOM assembly : {machine.acc[0].total()}")
+    print(f"  numpy        : {int(np.dot(a, b))}")
+    print(f"  instructions : {machine.executed} "
+          "(an MMX loop needs ~16 loads + 16 pmaddwd + adds + loop control)")
+
+    cur = rng.integers(0, 256, 128)
+    ref = rng.integers(0, 256, 128)
+    load_u8(machine, 0x3000, cur)
+    load_u8(machine, 0x4000, ref)
+    before = machine.executed
+    assemble(SAD_16x8).run(machine)
+    sad = machine.acc[1].lanes[0]
+    print("\n16x8 block SAD (motion estimation inner loop)")
+    print(f"  MOM assembly : {sad}")
+    print(f"  numpy        : {int(np.abs(cur - ref).sum())}")
+    print(f"  instructions : {machine.executed - before}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""End-to-end MPEG-2-style video coding on the kernel substrate.
+
+This example exercises the *functional* side of the library: the media
+kernels the workload model is built from.  It encodes a synthetic video
+sequence (motion estimation + DCT + quantization + run-length coding),
+decodes it back, reports rate/distortion, and then shows the µ-SIMD
+connection: the SAD kernel computed through the executable packed
+semantics (psadbw / the MOM packed accumulator) against the scalar
+reference.
+
+Run:  python examples/mpeg2_pipeline.py
+"""
+
+import numpy as np
+
+from repro.kernels.blockmatch import sad_block, sad_block_mmx, sad_block_packed
+from repro.kernels.jpeg import HuffmanCodec
+from repro.kernels.mpeg2 import (
+    Mpeg2Decoder,
+    Mpeg2Encoder,
+    psnr,
+    synthetic_video,
+)
+
+
+def encode_decode() -> None:
+    frames = synthetic_video(8, height=48, width=48)
+    encoder = Mpeg2Encoder(quality=70, gop=4, search_range=4)
+    decoder = Mpeg2Decoder(quality=70)
+    print("frame  type  coded-blocks  PSNR(dB)")
+    total_symbols = []
+    for index, frame in enumerate(frames):
+        encoded = encoder.encode_frame(frame)
+        decoded = decoder.decode_frame(encoded)
+        quality = psnr(frame, decoded)
+        print(
+            f"{index:5d}  {encoded.frame_type:>4s}  "
+            f"{encoded.coded_block_count:12d}  {quality:8.2f}"
+        )
+        for block in encoded.blocks:
+            total_symbols.extend(block)
+    # Entropy-code the (run, level) symbols — the scalar VLC stage.
+    codec = HuffmanCodec.from_symbols(total_symbols)
+    bits = sum(len(codec.code[s]) for s in total_symbols)
+    raw_bits = len(frames) * frames[0].size * 8
+    print(f"\nentropy-coded size: {bits / 8:.0f} bytes "
+          f"({bits / raw_bits:.1%} of raw)")
+
+
+def packed_sad_demo() -> None:
+    rng = np.random.default_rng(11)
+    current = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+    candidate = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+    scalar = sad_block(current, candidate)
+    mmx = sad_block_mmx(current, candidate)        # psadbw semantics
+    mom = sad_block_packed(current, candidate)     # vsadab accumulator
+    print("\nSAD of one macroblock (motion-estimation inner kernel):")
+    print(f"  scalar reference : {scalar}")
+    print(f"  MMX psadbw       : {mmx}   (32 instructions)")
+    print(f"  MOM vsadab       : {mom}   (2 stream instructions)")
+    assert scalar == mmx == mom
+
+
+if __name__ == "__main__":
+    encode_decode()
+    packed_sad_demo()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Pipeline utilization report — seeing the paper's thesis directly.
+
+Section 4.2 of the paper concludes that "the integer pipeline will be
+the main performance bottleneck within the CPU when executing our
+approximation of a next generation media workload".  This example
+instruments full runs and prints per-queue issue utilization: the
+integer queue saturates while the SIMD units idle — and the SMT's job is
+visible as the vector/memory work hiding underneath.
+
+Run:  python examples/pipeline_report.py
+"""
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.core.stats import InstrumentedRun
+from repro.memory import ConventionalHierarchy
+from repro.workloads import build_workload_traces
+
+SCALE = 2e-5
+
+
+def report(isa: str, n_threads: int) -> None:
+    config = SMTConfig(isa=isa, n_threads=n_threads)
+    processor = SMTProcessor(
+        config,
+        ConventionalHierarchy(),
+        build_workload_traces(isa, scale=SCALE),
+    )
+    instrumented = InstrumentedRun(processor)
+    result = instrumented.run()
+    widths = {
+        "int": config.issue_int,
+        "mem": config.issue_mem,
+        "fp": config.issue_fp,
+        "simd": config.issue_simd,
+    }
+    print(f"--- SMT+{isa.upper()}, {n_threads} thread(s): "
+          f"EIPC={result.eipc:.2f} ---")
+    print(instrumented.stats.report(widths))
+    print()
+
+
+def main() -> None:
+    for isa in ("mmx", "mom"):
+        for n_threads in (1, 8):
+            report(isa, n_threads)
+    print(
+        "Note how the integer queue approaches saturation at 8 threads\n"
+        "while SIMD issue stays low — the media workload is scalar-bound,\n"
+        "and SMT 'hides vector execution underneath integer execution'."
+    )
+
+
+if __name__ == "__main__":
+    main()

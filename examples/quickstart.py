@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the paper's workload on an SMT media processor.
+
+Builds the 8-program MPEG-4-style multiprogrammed workload, runs it on a
+4-thread SMT core with MMX-like and with MOM streaming µ-SIMD extensions,
+and prints throughput plus cache behaviour.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FetchPolicy, SMTConfig, SMTProcessor
+from repro.memory import ConventionalHierarchy
+from repro.workloads import build_workload_traces
+
+#: Dynamic instructions per million paper instructions; lower = faster.
+SCALE = 2e-5
+
+
+def main() -> None:
+    print("Building traces and simulating (a few seconds per run)...\n")
+    results = {}
+    for isa in ("mmx", "mom"):
+        traces = build_workload_traces(isa, scale=SCALE)
+        processor = SMTProcessor(
+            SMTConfig(isa=isa, n_threads=4),
+            ConventionalHierarchy(),
+            traces,
+            fetch_policy=FetchPolicy.ICOUNT,
+        )
+        result = processor.run()
+        results[isa] = result
+        memory = result.memory
+        print(f"SMT+{isa.upper()} (4 threads, ICOUNT fetch, real memory)")
+        print(f"  cycles                {result.cycles}")
+        print(f"  IPC  (committed)      {result.ipc:.2f}")
+        print(f"  EIPC (equivalent)     {result.eipc:.2f}")
+        print(f"  I-cache hit rate      {memory.icache.hit_rate:.1%}")
+        print(f"  L1 hit rate (loads)   {memory.l1.hit_rate:.1%}")
+        print(f"  L1 mean latency       {memory.l1.mean_latency:.2f} cycles")
+        print(f"  branch mispredicts    {result.mispredict_rate:.1%}")
+        print()
+    speedup = results["mom"].eipc / results["mmx"].eipc
+    print(
+        f"MOM streaming vector u-SIMD delivers {speedup:.2f}x the throughput "
+        "of conventional packed SIMD on the same core\n"
+        "(the paper's central claim: SMT hides vector execution under the "
+        "integer bottleneck, and streams relieve fetch/issue pressure)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure at full experiment fidelity.
+
+Writes the combined report to stdout (tee it into EXPERIMENTS.md's data
+section).  Runtime is dominated by the 2x-scale simulations: expect a few
+minutes.
+
+Usage:  python scripts/run_experiments.py [scale]
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    run_breakdown_table3,
+    run_fig4_ideal,
+    run_fig5_real,
+    run_fig6_fetch,
+    run_fig8_decoupled,
+    run_fig9_summary,
+    run_table4_cache,
+)
+
+#: Default fidelity: 1e-4 = one trace instruction per 10k paper instructions.
+DEFAULT_SCALE = 1e-4
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_SCALE
+    print(f"# Experiment run at scale={scale}\n")
+    start = time.time()
+
+    table3 = run_breakdown_table3(scale=scale)
+    print(table3.report, "\n")
+
+    fig4 = run_fig4_ideal(scale=scale)
+    print(fig4.report, "\n")
+
+    fig5 = run_fig5_real(scale=scale, ideal=fig4)
+    print(fig5.report, "\n")
+
+    table4 = run_table4_cache(scale=scale, fig5=fig5)
+    print(table4.report, "\n")
+
+    fig6 = run_fig6_fetch(scale=scale)
+    print(fig6.report, "\n")
+
+    fig8 = run_fig8_decoupled(scale=scale)
+    print(fig8.report, "\n")
+
+    fig9 = run_fig9_summary(scale=scale)
+    print(fig9.report, "\n")
+
+    # Section 5.3's scalar/vector mixing statistic at 8 threads.
+    for isa in ("mmx", "mom"):
+        run = fig6.runs[(isa, "rr", 8)]
+        print(
+            f"{isa.upper()} vector-only issue cycles @8T (RR): "
+            f"{run.vector_only_fraction:.1%} "
+            f"(paper: {'1%' if isa == 'mmx' else '4%'})"
+        )
+
+    print(f"\ntotal wall time: {time.time() - start:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Command-line trace tooling: generate, inspect, diff.
+
+Usage:
+    python scripts/trace_tool.py generate mpeg2enc mom out.trace [scale]
+    python scripts/trace_tool.py info out.trace
+    python scripts/trace_tool.py breakdown mpeg2enc [scale]
+    python scripts/trace_tool.py head out.trace [n]
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.tracegen.program import DEFAULT_SCALE, build_program_trace
+from repro.tracegen.serialize import load_trace, save_trace
+
+
+def cmd_generate(args) -> None:
+    name, isa, path = args[0], args[1], args[2]
+    scale = float(args[3]) if len(args) > 3 else DEFAULT_SCALE
+    trace = build_program_trace(name, isa, scale=scale)
+    save_trace(trace, path)
+    print(f"wrote {len(trace)} instructions "
+          f"({trace.expanded_length} expanded) to {path}")
+
+
+def cmd_info(args) -> None:
+    trace = load_trace(args[0])
+    counts = trace.class_counts()
+    fractions = trace.class_fractions()
+    print(f"name            {trace.name}")
+    print(f"isa             {trace.isa}")
+    print(f"instructions    {len(trace)}")
+    print(f"expanded        {trace.expanded_length}")
+    print(f"mmx equivalent  {trace.mmx_equivalent}")
+    for key in ("int", "fp", "simd", "mem"):
+        print(f"  {key:4s} {counts[key]:8d}  ({fractions[key]:.1%})")
+    branches = [i for i in trace.instructions if i.is_branch]
+    taken = sum(1 for b in branches if b.taken)
+    print(f"branches        {len(branches)} ({taken / max(len(branches), 1):.0%} taken)")
+    streams = [i for i in trace.instructions if i.stream_length > 1]
+    if streams:
+        mean_sl = sum(i.stream_length for i in streams) / len(streams)
+        print(f"stream insts    {len(streams)} (mean length {mean_sl:.1f})")
+
+
+def cmd_breakdown(args) -> None:
+    name = args[0]
+    scale = float(args[1]) if len(args) > 1 else DEFAULT_SCALE
+    rows = []
+    for isa in ("mmx", "mom"):
+        trace = build_program_trace(name, isa, scale=scale)
+        fractions = trace.class_fractions()
+        rows.append(
+            [
+                isa.upper(),
+                trace.expanded_length,
+                f"{fractions['int']:.0%}",
+                f"{fractions['fp']:.0%}",
+                f"{fractions['simd']:.0%}",
+                f"{fractions['mem']:.0%}",
+            ]
+        )
+    print(format_table(
+        ["isa", "expanded", "int", "fp", "simd", "mem"],
+        rows,
+        title=f"{name} @ scale {scale:g}",
+    ))
+
+
+def cmd_head(args) -> None:
+    trace = load_trace(args[0])
+    n = int(args[1]) if len(args) > 1 else 20
+    for inst in trace.instructions[:n]:
+        print(inst)
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "info": cmd_info,
+    "breakdown": cmd_breakdown,
+    "head": cmd_head,
+}
+
+
+def main() -> None:
+    if len(sys.argv) < 2 or sys.argv[1] not in COMMANDS:
+        print(__doc__)
+        sys.exit(1)
+    try:
+        COMMANDS[sys.argv[1]](sys.argv[2:])
+    except BrokenPipeError:
+        # Output piped into head/less that closed early — not an error.
+        sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

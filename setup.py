@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed editable in offline environments
+that lack the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

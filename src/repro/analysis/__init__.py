@@ -1,0 +1,27 @@
+"""Experiment harness: one driver per table/figure of the paper."""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_breakdown_table3,
+    run_fig4_ideal,
+    run_fig5_real,
+    run_fig6_fetch,
+    run_fig8_decoupled,
+    run_fig9_summary,
+    run_table4_cache,
+    simulate,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "run_breakdown_table3",
+    "run_fig4_ideal",
+    "run_fig5_real",
+    "run_fig6_fetch",
+    "run_fig8_decoupled",
+    "run_fig9_summary",
+    "run_table4_cache",
+    "simulate",
+    "format_table",
+]

@@ -1,0 +1,398 @@
+"""Experiment drivers: regenerate every table and figure of the paper.
+
+Each ``run_*`` function reproduces one experiment of section 5 and
+returns an :class:`ExperimentResult` holding the measured series, the
+paper's series and a formatted report.  The benchmark harness under
+``benchmarks/`` calls these; the examples reuse them interactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import paper
+from repro.analysis.reporting import format_table, paper_vs_measured
+from repro.core.fetch import FetchPolicy
+from repro.core.metrics import RunResult
+from repro.core.params import SMTConfig
+from repro.core.smt import SMTProcessor
+from repro.memory.decoupled import DecoupledHierarchy
+from repro.memory.hierarchy import ConventionalHierarchy
+from repro.memory.perfect import PerfectMemory
+from repro.tracegen.mixes import PAPER_MOM_MINSTS, WORKLOAD_MIXES, predicted_counts
+from repro.tracegen.program import DEFAULT_SCALE, build_program_trace
+from repro.workloads.mediabench import build_workload_traces
+
+THREAD_SWEEP = (1, 2, 4, 8)
+ISAS = ("mmx", "mom")
+
+
+@dataclass
+class ExperimentResult:
+    """Measured data for one table/figure, with the paper's targets."""
+
+    name: str
+    measured: dict
+    paper_values: dict
+    report: str = ""
+    runs: dict = field(default_factory=dict, repr=False)
+
+    def __str__(self) -> str:
+        return self.report
+
+
+def _memory_factory(kind: str):
+    if kind == "perfect":
+        return PerfectMemory
+    if kind == "conventional":
+        return ConventionalHierarchy
+    if kind == "decoupled":
+        return DecoupledHierarchy
+    raise ValueError(f"unknown memory system {kind!r}")
+
+
+def simulate(
+    isa: str,
+    n_threads: int,
+    memory: str = "conventional",
+    fetch_policy: FetchPolicy = FetchPolicy.RR,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    completions_target: int = 8,
+) -> RunResult:
+    """Run the full multiprogrammed workload on one machine configuration."""
+    traces = build_workload_traces(isa, scale=scale, seed=seed)
+    processor = SMTProcessor(
+        SMTConfig(isa=isa, n_threads=n_threads),
+        _memory_factory(memory)(),
+        traces,
+        fetch_policy=fetch_policy,
+        completions_target=completions_target,
+    )
+    return processor.run()
+
+
+# --------------------------------------------------------------------- Table 3
+
+def run_breakdown_table3(scale: float = DEFAULT_SCALE) -> ExperimentResult:
+    """Instruction breakdown and counts per program (paper Table 3)."""
+    rows = []
+    measured = {}
+    for name, mix in WORKLOAD_MIXES.items():
+        per_isa = {}
+        for isa in ISAS:
+            trace = build_program_trace(name, isa, scale=scale)
+            fractions = trace.class_fractions()
+            per_isa[isa] = {
+                "minsts": trace.expanded_length / (1e6 * scale),
+                **fractions,
+            }
+        measured[name] = per_isa
+        paper_mmx = mix.mmx_minsts
+        paper_mom = PAPER_MOM_MINSTS[name]
+        rows.append(
+            [
+                name,
+                f"{per_isa['mmx']['int']:.0%}",
+                f"{per_isa['mmx']['fp']:.0%}",
+                f"{per_isa['mmx']['simd']:.0%}",
+                f"{per_isa['mmx']['mem']:.0%}",
+                per_isa["mmx"]["minsts"],
+                paper_mmx,
+                per_isa["mom"]["minsts"],
+                paper_mom,
+            ]
+        )
+    totals_mmx = sum(m["mmx"]["minsts"] for m in measured.values())
+    totals_mom = sum(m["mom"]["minsts"] for m in measured.values())
+    # mpeg2dec appears twice in the workload totals.
+    totals_mmx += measured["mpeg2dec"]["mmx"]["minsts"]
+    totals_mom += measured["mpeg2dec"]["mom"]["minsts"]
+    report = format_table(
+        ["program", "int", "fp", "simd", "mem",
+         "Minst(mmx)", "paper", "Minst(mom)", "paper"],
+        rows,
+        title="Table 3 — instruction breakdown (MMX mix %) and counts",
+        float_fmt="{:.1f}",
+    )
+    report += "\n" + paper_vs_measured(
+        "workload total (MMX, M)", paper.TABLE3_TOTALS["mmx"], totals_mmx
+    )
+    report += "\n" + paper_vs_measured(
+        "workload total (MOM, M)", paper.TABLE3_TOTALS["mom"], totals_mom
+    )
+    return ExperimentResult(
+        "table3", measured, {"totals": paper.TABLE3_TOTALS}, report
+    )
+
+
+# --------------------------------------------------------------------- Figure 4
+
+def run_fig4_ideal(
+    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+) -> ExperimentResult:
+    """Performance with perfect cache (paper figure 4)."""
+    measured = {isa: {} for isa in ISAS}
+    runs = {}
+    for isa in ISAS:
+        for n in threads:
+            result = simulate(isa, n, memory="perfect", scale=scale)
+            measured[isa][n] = result.eipc
+            runs[(isa, n)] = result
+    rows = [
+        [f"{isa.upper()} T={n}", measured[isa][n], paper.FIG4_IDEAL[isa].get(n, float("nan"))]
+        for isa in ISAS
+        for n in threads
+    ]
+    report = format_table(
+        ["config", "EIPC", "paper"],
+        rows,
+        title="Figure 4 — performance with perfect cache",
+    )
+    if 1 in threads and 8 in threads:
+        report += "\n" + paper_vs_measured(
+            "MMX speedup 8T/1T", 2.02, measured["mmx"][8] / measured["mmx"][1]
+        )
+        report += "\n" + paper_vs_measured(
+            "MOM speedup 8T/1T", 2.08, measured["mom"][8] / measured["mom"][1]
+        )
+        report += "\n" + paper_vs_measured(
+            "MOM@8T over MMX@1T",
+            paper.FIG4_MOM8_OVER_MMX1,
+            measured["mom"][8] / measured["mmx"][1],
+        )
+    return ExperimentResult("fig4", measured, paper.FIG4_IDEAL, report, runs)
+
+
+# --------------------------------------------------------------------- Figure 5
+
+def run_fig5_real(
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    ideal: ExperimentResult | None = None,
+) -> ExperimentResult:
+    """Performance under the real memory system (paper figure 5)."""
+    ideal = ideal or run_fig4_ideal(scale=scale, threads=threads)
+    measured = {isa: {} for isa in ISAS}
+    runs = {}
+    for isa in ISAS:
+        for n in threads:
+            result = simulate(isa, n, memory="conventional", scale=scale)
+            measured[isa][n] = result.eipc
+            runs[(isa, n)] = result
+    rows = []
+    degradation = {}
+    for isa in ISAS:
+        degs = [
+            1 - measured[isa][n] / ideal.measured[isa][n] for n in threads
+        ]
+        degradation[isa] = sum(degs) / len(degs)
+        for n in threads:
+            rows.append(
+                [
+                    f"{isa.upper()} T={n}",
+                    measured[isa][n],
+                    ideal.measured[isa][n],
+                    f"{1 - measured[isa][n] / ideal.measured[isa][n]:.0%}",
+                ]
+            )
+    report = format_table(
+        ["config", "EIPC (real)", "EIPC (ideal)", "degradation"],
+        rows,
+        title="Figure 5 — performance under the real memory system",
+    )
+    for isa in ISAS:
+        report += "\n" + paper_vs_measured(
+            f"{isa.upper()} mean degradation",
+            paper.FIG5_DEGRADATION[isa],
+            degradation[isa],
+        )
+    return ExperimentResult(
+        "fig5",
+        {"eipc": measured, "degradation": degradation},
+        paper.FIG5_DEGRADATION,
+        report,
+        runs,
+    )
+
+
+# --------------------------------------------------------------------- Table 4
+
+def run_table4_cache(
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    fig5: ExperimentResult | None = None,
+) -> ExperimentResult:
+    """Cache behaviour vs. thread count (paper table 4)."""
+    runs = fig5.runs if fig5 is not None else None
+    measured = {"icache_hit": {}, "l1_hit": {}, "l1_latency": {}}
+    for isa in ISAS:
+        for metric in measured:
+            measured[metric][isa] = {}
+        for n in threads:
+            result = (
+                runs[(isa, n)]
+                if runs
+                else simulate(isa, n, memory="conventional", scale=scale)
+            )
+            mem = result.memory
+            measured["icache_hit"][isa][n] = mem.icache.hit_rate
+            measured["l1_hit"][isa][n] = mem.l1.hit_rate
+            measured["l1_latency"][isa][n] = mem.l1.mean_latency
+    rows = []
+    for metric, fmt in (
+        ("icache_hit", "{:.1%}"),
+        ("l1_hit", "{:.1%}"),
+        ("l1_latency", "{:.2f}"),
+    ):
+        for isa in ISAS:
+            row = [f"{metric} {isa.upper()}"]
+            for n in threads:
+                row.append(fmt.format(measured[metric][isa][n]))
+                row.append(fmt.format(paper.TABLE4[metric][isa].get(n, float("nan"))))
+            rows.append(row)
+    headers = ["metric"]
+    for n in threads:
+        headers += [f"T={n}", "paper"]
+    report = format_table(
+        headers, rows, title="Table 4 — cache behaviour vs. threads"
+    )
+    return ExperimentResult("table4", measured, paper.TABLE4, report)
+
+
+# --------------------------------------------------------------------- Figure 6
+
+def run_fig6_fetch(
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    memory: str = "conventional",
+) -> ExperimentResult:
+    """Fetch-policy impact on the conventional hierarchy (figure 6)."""
+    policies = {
+        "mmx": (FetchPolicy.RR, FetchPolicy.ICOUNT, FetchPolicy.BALANCE),
+        "mom": (
+            FetchPolicy.RR,
+            FetchPolicy.ICOUNT,
+            FetchPolicy.OCOUNT,
+            FetchPolicy.BALANCE,
+        ),
+    }
+    measured = {isa: {} for isa in ISAS}
+    runs = {}
+    for isa in ISAS:
+        for policy in policies[isa]:
+            series = {}
+            for n in threads:
+                result = simulate(
+                    isa, n, memory=memory, fetch_policy=policy, scale=scale
+                )
+                series[n] = result.eipc
+                runs[(isa, policy.value, n)] = result
+            measured[isa][policy.value] = series
+    rows = []
+    for isa in ISAS:
+        for policy, series in measured[isa].items():
+            rows.append(
+                [f"{isa.upper()} {policy.upper()}"] + [series[n] for n in threads]
+            )
+    report = format_table(
+        ["config"] + [f"T={n}" for n in threads],
+        rows,
+        title=f"Figure {'6' if memory == 'conventional' else '8'} — "
+        f"fetch policies ({memory} hierarchy), EIPC",
+    )
+    best_gain = {}
+    for isa in ISAS:
+        top = max(threads)
+        rr = measured[isa]["rr"][top]
+        best = max(series[top] for series in measured[isa].values())
+        best_gain[isa] = best / rr - 1
+        report += (
+            f"\n{isa.upper()} best-policy gain over RR @T={top}: "
+            f"{best_gain[isa]:+.1%}"
+        )
+    return ExperimentResult(
+        "fig6" if memory == "conventional" else "fig8",
+        {"eipc": measured, "gain": best_gain},
+        {"max_gain": paper.FIG6_MAX_POLICY_GAIN},
+        report,
+        runs,
+    )
+
+
+# --------------------------------------------------------------------- Figure 8
+
+def run_fig8_decoupled(
+    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+) -> ExperimentResult:
+    """Fetch-policy impact under the decoupled hierarchy (figure 8)."""
+    result = run_fig6_fetch(scale=scale, threads=threads, memory="decoupled")
+    result.name = "fig8"
+    return result
+
+
+# --------------------------------------------------------------------- Figure 9
+
+def run_fig9_summary(
+    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+) -> ExperimentResult:
+    """Ideal vs. conventional vs. decoupled memory organizations (fig 9).
+
+    The paper plots its best fetch policies (ICOUNT for MMX, OCOUNT for
+    MOM); in our model the 8-thread policy deltas sit inside run noise
+    (see figure 6), so this summary uses the neutral round-robin policy
+    with a doubled completion target for a steadier measurement window.
+    """
+    measured = {isa: {} for isa in ISAS}
+    runs = {}
+    for isa in ISAS:
+        for memory in ("perfect", "conventional", "decoupled"):
+            series = {}
+            for n in threads:
+                result = simulate(
+                    isa,
+                    n,
+                    memory=memory,
+                    fetch_policy=FetchPolicy.RR,
+                    scale=scale,
+                    completions_target=16,
+                )
+                series[n] = result.eipc
+                runs[(isa, memory, n)] = result
+            measured[isa][memory] = series
+    rows = []
+    for isa in ISAS:
+        for memory, series in measured[isa].items():
+            rows.append([f"{isa.upper()} {memory}"] + [series[n] for n in threads])
+    report = format_table(
+        ["config"] + [f"T={n}" for n in threads],
+        rows,
+        title="Figure 9 — ideal vs. conventional vs. decoupled, EIPC",
+    )
+    top = max(threads)
+    baseline = measured["mmx"]["conventional"][min(threads)]
+    summary = {}
+    for isa in ISAS:
+        degradation = 1 - measured[isa]["decoupled"][top] / measured[isa]["perfect"][top]
+        speedup = measured[isa]["decoupled"][top] / baseline
+        summary[isa] = {"degradation": degradation, "speedup": speedup}
+        report += "\n" + paper_vs_measured(
+            f"{isa.upper()} degradation vs ideal @8T",
+            paper.FIG9_DEGRADATION[isa],
+            degradation,
+        )
+        report += "\n" + paper_vs_measured(
+            f"{isa.upper()} speedup over 1T MMX",
+            paper.SUMMARY_SPEEDUP[isa],
+            speedup,
+        )
+    return ExperimentResult(
+        "fig9",
+        {"eipc": measured, "summary": summary},
+        {
+            "degradation": paper.FIG9_DEGRADATION,
+            "speedup": paper.SUMMARY_SPEEDUP,
+        },
+        report,
+        runs,
+    )

@@ -1,0 +1,60 @@
+"""The paper's published numbers, used as reproduction targets.
+
+Every value here is transcribed from the HPCA 2001 text (figures are read
+off the prose where stated exactly, otherwise off the plotted curves and
+recorded as approximate).
+"""
+
+#: Figure 4 — performance with perfect cache (EIPC over threads).
+FIG4_IDEAL = {
+    "mmx": {1: 2.47, 2: 3.70, 4: 4.60, 8: 5.00},   # 2/4-thread read off plot
+    "mom": {1: 2.98, 2: 4.50, 4: 5.60, 8: 6.19},
+}
+
+#: Text: SMT+MOM @8T is 2.5x an 8-way superscalar with MMX.
+FIG4_MOM8_OVER_MMX1 = 2.5
+
+#: Figure 5 — average degradation under the real memory system.
+FIG5_DEGRADATION = {"mmx": 0.30, "mom": 0.12}
+
+#: Table 4 — cache behaviour vs. thread count (conventional hierarchy).
+TABLE4 = {
+    "icache_hit": {
+        "mmx": {1: 0.990, 2: 0.978, 4: 0.969, 8: 0.937},
+        "mom": {1: 0.987, 2: 0.982, 4: 0.966, 8: 0.939},
+    },
+    "l1_hit": {
+        "mmx": {1: 0.987, 2: 0.976, 4: 0.942, 8: 0.868},
+        "mom": {1: 0.984, 2: 0.981, 4: 0.969, 8: 0.937},
+    },
+    "l1_latency": {
+        "mmx": {1: 1.39, 2: 1.59, 4: 2.38, 8: 6.81},
+        "mom": {1: 1.74, 2: 1.86, 4: 2.43, 8: 4.51},
+    },
+}
+
+#: Figure 6 — fetch-policy gains peak around 9 % at high thread counts;
+#: ICOUNT is best for MMX, OCOUNT for MOM.
+FIG6_MAX_POLICY_GAIN = 0.09
+FIG6_BEST_POLICY = {"mmx": "icount", "mom": "ocount"}
+
+#: Section 5.3 — fraction of issuing cycles doing only vector work @8T.
+VECTOR_ONLY_CYCLES = {"mmx": 0.01, "mom": 0.04}
+
+#: Figure 8 — under the decoupled hierarchy 8 threads beat 4 again; fetch
+#: policies buy up to ~7 % for MOM and almost nothing for MMX.
+FIG8_MAX_POLICY_GAIN_MOM = 0.07
+
+#: Figure 9 / summary — degradation vs. ideal at 8 threads with the best
+#: policy and the decoupled hierarchy, and the headline speedups over the
+#: 1-thread MMX baseline.
+FIG9_DEGRADATION = {"mmx": 0.30, "mom": 0.15}
+SUMMARY_SPEEDUP = {"mmx": 2.1, "mom": 3.3}
+
+#: Table 3 — instruction counts (millions).
+TABLE3_TOTALS = {"mmx": 1429.0, "mom": 1087.0}
+TABLE3_MMX_INT_SHARE = 0.62
+TABLE3_MMX_SIMD_SHARE = 0.16
+TABLE3_MOM_INT_CUT = 0.20
+TABLE3_MOM_MEM_CUT = 0.07
+TABLE3_MOM_SIMD_CUT = 0.62

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for experiment output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report, side by side with the published values, so a run's fidelity can
+be judged at a glance.
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    label: str, paper: float, measured: float, unit: str = ""
+) -> str:
+    """One comparison line: paper value, measured value, relative error."""
+    if paper:
+        err = (measured - paper) / paper
+        return f"{label:34s} paper={paper:8.3f}{unit}  measured={measured:8.3f}{unit}  ({err:+.1%})"
+    return f"{label:34s} paper={paper:8.3f}{unit}  measured={measured:8.3f}{unit}"

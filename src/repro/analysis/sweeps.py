@@ -1,0 +1,84 @@
+"""Parameter-sweep utilities for scaling and convergence studies.
+
+The scaled-trace methodology (DESIGN.md §2) relies on the claim that the
+metrics the paper compares — EIPC ratios, hit rates, speed-ups — are
+*scale-free*: they stabilize long before full trace length.  This module
+provides the machinery to check that claim (used by
+``benchmarks/bench_scale_convergence.py``) and a small generic sweep
+helper the ablation benches share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.experiments import simulate
+from repro.core.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep and its run result."""
+
+    label: str
+    params: dict
+    result: RunResult
+
+
+def sweep(
+    runner: Callable[..., RunResult],
+    axis_name: str,
+    values,
+    label: str = "",
+    **fixed,
+) -> list[SweepPoint]:
+    """Run ``runner`` once per value of one axis, holding ``fixed``."""
+    points = []
+    for value in values:
+        params = dict(fixed, **{axis_name: value})
+        result = runner(**params)
+        points.append(
+            SweepPoint(
+                label=f"{label or axis_name}={value}",
+                params=params,
+                result=result,
+            )
+        )
+    return points
+
+
+def scale_convergence(
+    scales,
+    isa_pair=("mmx", "mom"),
+    n_threads: int = 4,
+    memory: str = "conventional",
+) -> dict[float, dict[str, float]]:
+    """Key scale-free metrics at several trace scales.
+
+    Returns, per scale: the MOM/MMX EIPC ratio, each ISA's L1 hit rate
+    and the MMX machine's IPC — the quantities the reproduction's
+    conclusions rest on.  A faithful scaled methodology shows these
+    stabilizing as the scale grows.
+    """
+    out: dict[float, dict[str, float]] = {}
+    for scale in scales:
+        runs = {
+            isa: simulate(isa, n_threads, memory=memory, scale=scale)
+            for isa in isa_pair
+        }
+        out[scale] = {
+            "eipc_ratio": runs["mom"].eipc / runs["mmx"].eipc,
+            "mmx_ipc": runs["mmx"].ipc,
+            "mmx_l1_hit": runs["mmx"].memory.l1.hit_rate,
+            "mom_l1_hit": runs["mom"].memory.l1.hit_rate,
+        }
+    return out
+
+
+def relative_spread(values) -> float:
+    """max/min - 1 over a set of positive metric values."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return max(values) / min(values) - 1.0

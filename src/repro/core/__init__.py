@@ -1,0 +1,26 @@
+"""The paper's contribution: an SMT out-of-order core with µ-SIMD units.
+
+An 8-fetch-wide MIPS R10000-style out-of-order superscalar extended with
+
+* simultaneous multithreading (shared physical register pools, per-thread
+  rename tables, per-thread in-order graduation, 2x4 fetch per cycle), and
+* a multimedia instruction queue with either two MMX-like packed FUs or
+  one 2-lane MOM streaming vector unit.
+
+``SMTProcessor`` is trace-driven: it consumes the decoded instruction
+traces of :mod:`repro.tracegen` under the multiprogramming methodology of
+:mod:`repro.workloads` and any memory model from :mod:`repro.memory`.
+"""
+
+from repro.core.params import SMTConfig, scaled_resources
+from repro.core.fetch import FetchPolicy
+from repro.core.smt import SMTProcessor
+from repro.core.metrics import RunResult
+
+__all__ = [
+    "SMTConfig",
+    "scaled_resources",
+    "FetchPolicy",
+    "SMTProcessor",
+    "RunResult",
+]

@@ -1,0 +1,57 @@
+"""Branch prediction: a gshare predictor shared by all threads.
+
+The SMT core shares one pattern-history table among contexts (as the
+Alpha 21464 proposal did); each thread keeps its own global-history
+register.  Mispredictions stall the offending thread's fetch until the
+branch resolves, plus a front-end redirect penalty — the standard
+trace-driven squash model (wrong-path instructions cannot be fetched from
+a trace, so their resource pollution is approximated by the stall).
+"""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """Classic gshare: PC xor global-history indexes 2-bit counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 6):
+        if table_bits < 2 or history_bits < 1:
+            raise ValueError("bad predictor geometry")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._table = [2] * (1 << table_bits)   # weakly taken
+        self._history: dict[int, int] = {}
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, thread: int, pc: int) -> int:
+        history = self._history.get(thread, 0)
+        return ((pc >> 2) ^ history) & ((1 << self.table_bits) - 1)
+
+    def predict_and_update(self, thread: int, pc: int, taken: bool) -> bool:
+        """Predict a branch, train the tables, return correctness."""
+        index = self._index(thread, pc)
+        counter = self._table[index]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.lookups += 1
+        if not correct:
+            self.mispredicts += 1
+        # 2-bit saturating counter update.
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        history = self._history.get(thread, 0)
+        self._history[thread] = (
+            (history << 1) | (1 if taken else 0)
+        ) & ((1 << self.history_bits) - 1)
+        return correct
+
+    def reset_thread(self, thread: int) -> None:
+        """Clear a context's history (new program assigned to the slot)."""
+        self._history[thread] = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0

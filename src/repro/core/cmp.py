@@ -1,0 +1,181 @@
+"""Chip multiprocessor (CMP) extension — the paper's discussed alternative.
+
+Section 3 of the paper weighs two TLP architectures: SMT ("better usage
+of the available resources") and CMP ("does not have the traditional
+implementation problems of aggressive out-of-order architectures",
+citing Power4 and Piranha), and argues SMT suits media workloads better
+because it delivers "moderate performance even in serial fragments of
+code or with low number of threads" — minimizing Amdahl's law.  The
+paper evaluates only SMT; this module builds the comparison machine so
+the claim can be tested.
+
+A :class:`CmpSystem` is ``n_cores`` single-threaded cores, each a scaled
+-down out-of-order pipeline (half the issue width and a quarter of the
+rename/window resources of the 8-thread SMT), with *private* L1 data and
+instruction caches and a *shared* L2 and DRDRAM channel.  All cores step
+in lockstep against the shared memory, and programs rotate through cores
+with the same §5.1 methodology the SMT uses, so CMP and SMT results are
+directly comparable EIPC-for-EIPC.
+"""
+
+from __future__ import annotations
+
+from repro.core.fetch import FetchPolicy
+from repro.core.metrics import RunResult
+from repro.core.params import Resources, SMTConfig
+from repro.core.smt import SMTProcessor
+from repro.isa.registers import RegisterClass
+from repro.memory.cache import CacheConfig, L2Cache
+from repro.memory.dram import RambusChannel
+from repro.memory.hierarchy import ConventionalHierarchy
+from repro.memory.interface import MemoryStats
+from repro.tracegen.program import Trace
+from repro.workloads.multiprog import MultiprogramScheduler
+
+#: Private per-core L1: half the SMT's shared 32 KB (Piranha-style).
+CMP_L1 = CacheConfig("L1D", size=16 << 10, assoc=1, line=32, banks=4, latency=1)
+
+#: Per-core resources: a modest 4-wide-ish out-of-order core.
+CMP_CORE_RESOURCES = Resources(
+    rename_regs={
+        RegisterClass.INT: 40,
+        RegisterClass.FP: 24,
+        RegisterClass.MMX: 24,
+        RegisterClass.STREAM: 12,
+        RegisterClass.ACC: 4,
+    },
+    queue_sizes={"int": 20, "fp": 12, "mem": 20, "simd": 12},
+    graduation_window=48,
+)
+
+
+def cmp_core_config(isa: str) -> SMTConfig:
+    """The configuration of one CMP core.
+
+    Narrower than the SMT machine everywhere: one 4-instruction fetch
+    group, half the issue bandwidth, one µ-SIMD FU (or a single-lane MOM
+    pipe) — the "simple processors" CMP proposals join on a die.
+    """
+    return SMTConfig(
+        isa=isa,
+        n_threads=1,
+        fetch_groups=1,
+        fetch_group_size=4,
+        dispatch_width=4,
+        commit_width=4,
+        issue_int=2,
+        issue_mem=2,
+        issue_fp=2,
+        issue_simd=1,
+        vector_lanes=2,
+        resources=CMP_CORE_RESOURCES,
+    )
+
+
+class CmpSystem:
+    """``n_cores`` private-L1 cores over a shared L2 and memory channel."""
+
+    def __init__(
+        self,
+        isa: str,
+        n_cores: int,
+        traces: list[Trace],
+        completions_target: int = 8,
+        max_cycles: int = 50_000_000,
+        warmup_fraction: float = 0.3,
+    ):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.max_cycles = max_cycles
+        self.dram = RambusChannel()
+        self.l2 = L2Cache(self.dram)
+        self.scheduler = MultiprogramScheduler(
+            traces, n_cores, completions_target=completions_target
+        )
+        self.cores: list[SMTProcessor] = []
+        for __ in range(n_cores):
+            memory = ConventionalHierarchy(
+                n_ports=2, l1_config=CMP_L1, l2=self.l2
+            )
+            # Each core's constructor pulls its initial program from the
+            # shared scheduler, so core i starts workload slot i.
+            core = SMTProcessor(
+                cmp_core_config(isa),
+                memory,
+                traces,
+                fetch_policy=FetchPolicy.RR,
+                max_cycles=max_cycles,
+                warmup_fraction=0.0,      # warmup handled system-wide
+                scheduler=self.scheduler,
+            )
+            self.cores.append(core)
+        expected_total = sum(t.expanded_length for t in traces)
+        self._warmup_commits = int(warmup_fraction * expected_total)
+        self._warm = self._warmup_commits == 0
+        self._base = (0, 0, 0.0)
+        self.now = 0
+
+    def _total_committed(self) -> tuple[int, float]:
+        committed = sum(core.committed for core in self.cores)
+        equiv = sum(core.committed_equiv for core in self.cores)
+        return committed, equiv
+
+    def run(self) -> RunResult:
+        """Step all cores in lockstep until the completion target."""
+        while not self.scheduler.done and self.now < self.max_cycles:
+            worked = False
+            for core in self.cores:
+                core.now = self.now
+                if core.step():
+                    worked = True
+            self.now += 1
+            if not self._warm:
+                committed, equiv = self._total_committed()
+                if committed >= self._warmup_commits:
+                    self._warm = True
+                    self._base = (self.now, committed, equiv)
+                    for core in self.cores:
+                        core.memory.reset_stats()
+            if not worked:
+                targets = [
+                    core._skip_target()
+                    for core in self.cores
+                    if core.threads[0].trace is not None
+                ]
+                if targets:
+                    self.now = max(self.now, min(targets))
+        if self.now >= self.max_cycles:
+            raise RuntimeError(
+                f"CMP simulation exceeded {self.max_cycles} cycles"
+            )
+        base_cycles, base_committed, base_equiv = self._base
+        committed, equiv = self._total_committed()
+        memory = self._merged_memory_stats()
+        mispredicts = sum(core.predictor.mispredicts for core in self.cores)
+        lookups = sum(core.predictor.lookups for core in self.cores)
+        return RunResult(
+            isa=self.cores[0].config.isa,
+            n_threads=self.n_cores,
+            fetch_policy="cmp",
+            cycles=self.now - base_cycles,
+            committed_instructions=committed - base_committed,
+            committed_equivalent=equiv - base_equiv,
+            program_completions=self.scheduler.completions,
+            memory=memory,
+            mispredict_rate=mispredicts / lookups if lookups else 0.0,
+        )
+
+    def _merged_memory_stats(self) -> MemoryStats:
+        merged = MemoryStats()
+        for core in self.cores:
+            stats = core.memory.stats
+            for name in ("icache", "l1"):
+                mine = getattr(merged, name)
+                theirs = getattr(stats, name)
+                mine.accesses += theirs.accesses
+                mine.hits += theirs.hits
+                mine.latency_sum += theirs.latency_sum
+            merged.bank_conflict_cycles += stats.bank_conflict_cycles
+        merged.l2 = self.l2.stats
+        return merged

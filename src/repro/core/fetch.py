@@ -1,0 +1,58 @@
+"""Fetch thread-selection policies (paper section 5.3).
+
+The fetch engine selects up to two threads per cycle and takes up to four
+instructions from each.  The policy decides the order in which candidate
+threads are offered the two fetch slots:
+
+* **RR** (round-robin): the baseline rotation.
+* **ICOUNT** (Tullsen et al.): prefer threads with the fewest
+  instructions in the front end and issue queues — starves queue-clogging
+  threads of fetch bandwidth.
+* **OCOUNT**: like ICOUNT but counts *operations*: a MOM stream
+  instruction holding the queue counts as its stream length, using the
+  stream-length register's information.  Only meaningful for MOM.
+* **BALANCE**: mixes scalar and vector work: when the vector pipeline is
+  empty, threads that fetched vector instructions last time get priority;
+  otherwise threads that did not.  Ties break round-robin.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FetchPolicy(enum.Enum):
+    RR = "rr"
+    ICOUNT = "icount"
+    OCOUNT = "ocount"
+    BALANCE = "balance"
+
+
+def order_threads(
+    policy: FetchPolicy,
+    n_threads: int,
+    rotation: int,
+    inflight_insts: list[int],
+    inflight_ops: list[int],
+    fetched_vector_last: list[bool],
+    simd_queue_empty: bool,
+) -> list[int]:
+    """Thread indices in fetch-priority order for this cycle.
+
+    ``inflight_insts``/``inflight_ops`` count front-end + queued (not yet
+    issued) instructions/operations per thread; ``fetched_vector_last``
+    records whether each thread's previous fetch group contained a vector
+    instruction.
+    """
+    base = [(i + rotation) % n_threads for i in range(n_threads)]
+    if policy is FetchPolicy.RR:
+        return base
+    if policy is FetchPolicy.ICOUNT:
+        return sorted(base, key=lambda t: inflight_insts[t])
+    if policy is FetchPolicy.OCOUNT:
+        return sorted(base, key=lambda t: inflight_ops[t])
+    if policy is FetchPolicy.BALANCE:
+        if simd_queue_empty:
+            return sorted(base, key=lambda t: not fetched_vector_last[t])
+        return sorted(base, key=lambda t: fetched_vector_last[t])
+    raise ValueError(f"unknown fetch policy {policy}")

@@ -1,0 +1,73 @@
+"""Run results and the paper's performance metrics.
+
+IPC alone cannot compare ISAs that need different instruction counts for
+the same work, so the paper defines EIPC (Equivalent IPC) for the MOM
+machine::
+
+    EIPC = (instructions_MMX / instructions_MOM) x IPC_MOM
+
+i.e. the IPC an SMT+MMX processor would need to match the SMT+MOM
+processor's throughput.  We compute it per program: every committed
+instruction contributes its share of the program's MMX-equivalent
+instruction count, so partially-completed programs are accounted
+correctly.  For MMX runs EIPC equals IPC (up to generation noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.interface import MemoryStats
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run reports."""
+
+    isa: str
+    n_threads: int
+    fetch_policy: str
+    cycles: int
+    committed_instructions: int          # MOM streams counted expanded
+    committed_equivalent: float          # MMX-equivalent work
+    program_completions: int
+    memory: MemoryStats
+    mispredict_rate: float
+    issue_counts: dict[str, int] = field(default_factory=dict)
+    vector_only_cycles: int = 0
+    active_cycles: int = 0
+    per_program_committed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed (expanded) instructions per cycle."""
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def eipc(self) -> float:
+        """Equivalent IPC: MMX-equivalent work per cycle."""
+        return self.committed_equivalent / self.cycles if self.cycles else 0.0
+
+    @property
+    def vector_only_fraction(self) -> float:
+        """Fraction of issuing cycles that issued only vector work."""
+        if not self.active_cycles:
+            return 0.0
+        return self.vector_only_cycles / self.active_cycles
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Throughput speed-up versus a baseline run (EIPC ratio)."""
+        if baseline.eipc == 0:
+            raise ValueError("baseline did no work")
+        return self.eipc / baseline.eipc
+
+    def summary(self) -> str:
+        mem = self.memory
+        return (
+            f"{self.isa.upper()} T={self.n_threads} {self.fetch_policy}: "
+            f"EIPC={self.eipc:.2f} IPC={self.ipc:.2f} "
+            f"cycles={self.cycles} "
+            f"I$={mem.icache.hit_rate:.1%} L1={mem.l1.hit_rate:.1%} "
+            f"L1lat={mem.l1.mean_latency:.2f} "
+            f"bpred-miss={self.mispredict_rate:.1%}"
+        )

@@ -1,0 +1,514 @@
+"""The SMT processor model: fetch, rename, issue, execute, graduate.
+
+Trace-driven and cycle-level.  Each cycle runs the stages back to front
+(completion, commit, issue, dispatch, fetch) so results computed in a
+cycle are visible one cycle later:
+
+* **completion** — instructions finishing this cycle wake dependents;
+  resolved mispredicted branches unblock their thread's fetch.
+* **commit** — up to 8 instructions retire per cycle, in-order per
+  thread; finished programs hand their context to the next program of
+  the multiprogrammed list (section 5.1 methodology).
+* **issue** — per-queue out-of-order issue: 4 int, 4 mem, 4 FP, and
+  2 MMX or 1 MOM per cycle; memory operations query the memory system,
+  MOM arithmetic occupies the 2-lane vector unit.
+* **dispatch** — round-robin over threads, renaming onto the shared
+  physical pools (Table 1 sizing) and inserting into queues + the shared
+  graduation window.
+* **fetch** — up to 2 threads x 4 instructions through the I-cache,
+  thread order set by the fetch policy; branch mispredictions block the
+  thread until resolution (trace-driven squash model).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.branch import GsharePredictor
+from repro.core.execute import VectorUnit
+from repro.core.fetch import FetchPolicy, order_threads
+from repro.core.metrics import RunResult
+from repro.core.params import SMTConfig
+from repro.core.queues import IssueQueue
+from repro.core.rob import GraduationWindow
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODE_INFO, Opcode, Queue
+from repro.isa.registers import NO_REG, reg_class
+from repro.memory.interface import AccessType, MemorySystem
+from repro.tracegen.program import Trace
+from repro.workloads.multiprog import MultiprogramScheduler
+
+_STATE_WAITING = 0
+_STATE_DONE = 2
+
+# MMX packed loads/stores are single 64-bit references with no stream
+# semantics; they travel the scalar ports (and L1) even in the decoupled
+# organization.  Only MOM stream memory uses the vector ports.
+_MEM_KIND = {
+    Opcode.LOAD: AccessType.SCALAR_LOAD,
+    Opcode.STORE: AccessType.SCALAR_STORE,
+    Opcode.MMX_LOAD: AccessType.SCALAR_LOAD,
+    Opcode.MMX_STORE: AccessType.SCALAR_STORE,
+    Opcode.MOM_LOAD: AccessType.VECTOR_LOAD,
+    Opcode.MOM_STORE: AccessType.VECTOR_STORE,
+}
+
+
+class InFlight:
+    """Dynamic state of one dispatched instruction."""
+
+    __slots__ = (
+        "inst",
+        "thread",
+        "state",
+        "deps",
+        "dependents",
+        "mispredicted",
+        "squashed",
+    )
+
+    def __init__(self, inst: Instruction, thread: int, mispredicted: bool):
+        self.inst = inst
+        self.thread = thread
+        self.state = _STATE_WAITING
+        self.deps = 0
+        self.dependents: list[InFlight] = []
+        self.mispredicted = mispredicted
+        self.squashed = False
+
+
+class ThreadContext:
+    """Per-hardware-context front-end and rename state."""
+
+    __slots__ = (
+        "index",
+        "trace",
+        "fetch_idx",
+        "decode",
+        "rename",
+        "fetch_blocked",
+        "fetch_stall_until",
+        "fetched_vector_last",
+        "inflight_insts",
+        "inflight_ops",
+        "equiv_per_inst",
+        "trace_expanded",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.trace: Trace | None = None
+        self.fetch_idx = 0
+        self.decode: list = []
+        self.rename: dict[int, InFlight] = {}
+        self.fetch_blocked = False
+        self.fetch_stall_until = 0
+        self.fetched_vector_last = False
+        self.inflight_insts = 0
+        self.inflight_ops = 0
+        self.equiv_per_inst = 1.0
+        self.trace_expanded = 1
+
+    def assign(self, trace: Trace) -> None:
+        self.trace = trace
+        self.fetch_idx = 0
+        self.decode.clear()
+        self.rename.clear()
+        self.fetch_blocked = False
+        self.fetched_vector_last = False
+        self.trace_expanded = trace.expanded_length
+        self.equiv_per_inst = trace.mmx_equivalent / self.trace_expanded
+
+    @property
+    def fetch_done(self) -> bool:
+        return self.trace is None or self.fetch_idx >= len(self.trace.instructions)
+
+
+class SMTProcessor:
+    """Runs a multiprogrammed workload on the configured SMT machine."""
+
+    def __init__(
+        self,
+        config: SMTConfig,
+        memory: MemorySystem,
+        traces: list[Trace],
+        fetch_policy: FetchPolicy = FetchPolicy.RR,
+        completions_target: int = 8,
+        max_cycles: int = 50_000_000,
+        warmup_fraction: float = 0.3,
+        scheduler: MultiprogramScheduler | None = None,
+    ):
+        for trace in traces:
+            if trace.isa != config.isa:
+                raise ValueError(
+                    f"trace {trace.name} is {trace.isa}, machine is {config.isa}"
+                )
+        self.config = config
+        self.memory = memory
+        self.fetch_policy = fetch_policy
+        self.max_cycles = max_cycles
+        self.scheduler = scheduler or MultiprogramScheduler(
+            traces, config.n_threads, completions_target=completions_target
+        )
+        self.predictor = GsharePredictor()
+        self.vector_unit = VectorUnit(config.vector_lanes)
+        sizes = config.resources.queue_sizes
+        self.queues = {
+            Queue.INT: IssueQueue("int", sizes["int"]),
+            Queue.FP: IssueQueue("fp", sizes["fp"]),
+            Queue.MEM: IssueQueue("mem", sizes["mem"]),
+            Queue.SIMD: IssueQueue("simd", sizes["simd"]),
+        }
+        self._issue_width = {
+            Queue.INT: config.issue_int,
+            Queue.FP: config.issue_fp,
+            Queue.MEM: config.issue_mem,
+            Queue.SIMD: config.issue_simd,
+        }
+        self.window = GraduationWindow(
+            config.resources.graduation_window, config.n_threads
+        )
+        self.pools = dict(config.resources.rename_regs)
+        self.threads = [ThreadContext(i) for i in range(config.n_threads)]
+        for slot, assignment in zip(
+            self.threads,
+            self.scheduler.next_assignments(config.n_threads),
+        ):
+            slot.assign(assignment.trace)
+        self._wake: dict[int, list[InFlight]] = {}
+        self._rotation = 0
+        # Warmup: caches/predictor train on the first fraction of the
+        # committed work; statistics cover only the measurement window
+        # (standard trace-driven methodology — the scaled traces would
+        # otherwise be dominated by cold misses the paper's
+        # billion-instruction runs amortize away).
+        expected_total = sum(t.expanded_length for t in traces)
+        self._warmup_commits = int(warmup_fraction * expected_total)
+        self._warm = self._warmup_commits == 0
+        self._base_cycles = 0
+        self._base_committed = 0
+        self._base_equiv = 0.0
+        # Statistics.
+        self.now = 0
+        self.committed = 0
+        self.committed_by_thread = [0] * config.n_threads
+        self.committed_equiv = 0.0
+        self.per_program_committed: dict[str, int] = {}
+        self.vector_only_cycles = 0
+        self.active_cycles = 0
+
+    # ------------------------------------------------------------------ stages
+
+    def _complete(self) -> int:
+        entries = self._wake.pop(self.now, None)
+        if not entries:
+            return 0
+        for entry in entries:
+            entry.state = _STATE_DONE
+            for dependent in entry.dependents:
+                dependent.deps -= 1
+                if dependent.deps == 0 and not dependent.squashed:
+                    self.queues[OPCODE_INFO[dependent.inst.op].queue].wake(
+                        dependent
+                    )
+            entry.dependents.clear()
+            if entry.mispredicted:
+                ctx = self.threads[entry.thread]
+                ctx.fetch_blocked = False
+                ctx.fetch_stall_until = max(
+                    ctx.fetch_stall_until,
+                    self.now + self.config.mispredict_redirect,
+                )
+        return len(entries)
+
+    def _commit(self) -> int:
+        budget = self.config.commit_width
+        done_any = 0
+        n = self.config.n_threads
+        for offset in range(n):
+            if budget == 0:
+                break
+            thread = (self._rotation + offset) % n
+            ctx = self.threads[thread]
+            while budget > 0:
+                head = self.window.head(thread)
+                if head is None or head.state != _STATE_DONE:
+                    break
+                self.window.retire_head(thread)
+                inst = head.inst
+                if inst.dst != NO_REG:
+                    self.pools[reg_class(inst.dst)] += 1
+                    if ctx.rename.get(inst.dst) is head:
+                        del ctx.rename[inst.dst]
+                weight = inst.stream_length
+                self.committed += weight
+                self.committed_by_thread[thread] += weight
+                self.committed_equiv += weight * ctx.equiv_per_inst
+                budget -= 1
+                done_any += 1
+            # Program completion: everything fetched, dispatched, retired.
+            if (
+                ctx.trace is not None
+                and ctx.fetch_done
+                and not ctx.decode
+                and self.window.is_empty(thread)
+            ):
+                name = ctx.trace.name
+                self.per_program_committed[name] = (
+                    self.per_program_committed.get(name, 0)
+                    + ctx.trace_expanded
+                )
+                replacement = self.scheduler.on_completion()
+                if replacement is None:
+                    ctx.trace = None
+                else:
+                    ctx.assign(replacement.trace)
+                    self.predictor.reset_thread(thread)
+        return done_any
+
+    def _issue_one(self, entry: InFlight) -> int:
+        """Execute an issued instruction; returns its completion cycle."""
+        inst = entry.inst
+        info = OPCODE_INFO[inst.op]
+        now = self.now
+        if info.is_mem:
+            kind = _MEM_KIND[inst.op]
+            if inst.stream_length > 1:
+                done = self.memory.access_stream(
+                    entry.thread,
+                    inst.mem_addr,
+                    inst.stride,
+                    inst.stream_length,
+                    kind,
+                    now,
+                )
+            else:
+                done = self.memory.access(entry.thread, inst.mem_addr, kind, now)
+        elif info.is_stream:
+            done = self.vector_unit.execute(
+                now,
+                inst.stream_length,
+                info.latency,
+                reduction=(inst.op is Opcode.MOM_REDUCE),
+            )
+        else:
+            done = now + info.latency
+        return max(done, now + 1)
+
+    def _issue(self) -> tuple[int, bool, bool]:
+        issued = 0
+        issued_vector = False
+        issued_scalar = False
+        for queue_id, queue in self.queues.items():
+            width = self._issue_width[queue_id]
+            for __ in range(width):
+                entry = queue.pop_ready()
+                if entry is None:
+                    break
+                ctx = self.threads[entry.thread]
+                ctx.inflight_insts -= 1
+                ctx.inflight_ops -= entry.inst.stream_length
+                done = self._issue_one(entry)
+                self._wake.setdefault(done, []).append(entry)
+                issued += 1
+                if queue_id is Queue.SIMD:
+                    issued_vector = True
+                else:
+                    issued_scalar = True
+        return issued, issued_vector, issued_scalar
+
+    def _dispatch(self) -> int:
+        budget = self.config.dispatch_width
+        n = self.config.n_threads
+        stalled = [False] * n
+        dispatched = 0
+        while budget > 0:
+            progress = False
+            for offset in range(n):
+                if budget == 0:
+                    break
+                thread = (self._rotation + offset) % n
+                if stalled[thread]:
+                    continue
+                ctx = self.threads[thread]
+                if not ctx.decode:
+                    stalled[thread] = True
+                    continue
+                inst, mispredicted = ctx.decode[0]
+                info = OPCODE_INFO[inst.op]
+                queue = self.queues[info.queue]
+                if not queue.has_space or not self.window.has_space:
+                    stalled[thread] = True
+                    continue
+                if inst.dst != NO_REG and self.pools[reg_class(inst.dst)] <= 0:
+                    stalled[thread] = True
+                    continue
+                ctx.decode.pop(0)
+                entry = InFlight(inst, thread, mispredicted)
+                for src in inst.srcs:
+                    producer = ctx.rename.get(src)
+                    if producer is not None and producer.state != _STATE_DONE:
+                        entry.deps += 1
+                        producer.dependents.append(entry)
+                if inst.dst != NO_REG:
+                    self.pools[reg_class(inst.dst)] -= 1
+                    ctx.rename[inst.dst] = entry
+                self.window.insert(thread, entry)
+                queue.insert(entry)
+                budget -= 1
+                dispatched += 1
+                progress = True
+            if not progress:
+                break
+        return dispatched
+
+    def _fetch(self) -> int:
+        cfg = self.config
+        n = cfg.n_threads
+        order = order_threads(
+            self.fetch_policy,
+            n,
+            self._rotation,
+            [t.inflight_insts for t in self.threads],
+            [t.inflight_ops for t in self.threads],
+            [t.fetched_vector_last for t in self.threads],
+            self.queues[Queue.SIMD].occupancy == 0,
+        )
+        groups = 0
+        fetched = 0
+        for thread in order:
+            if groups == cfg.fetch_groups:
+                break
+            ctx = self.threads[thread]
+            if ctx.trace is None or ctx.fetch_done:
+                continue
+            if ctx.fetch_blocked:
+                # Wrong-path fetch: the front end does not know the branch
+                # mispredicted, so the thread keeps consuming fetch slots
+                # on instructions that will be squashed.
+                groups += 1
+                continue
+            if (
+                ctx.fetch_stall_until > self.now
+                or len(ctx.decode) > cfg.decode_buffer - cfg.fetch_group_size
+            ):
+                continue
+            groups += 1
+            instructions = ctx.trace.instructions
+            pc = instructions[ctx.fetch_idx].pc
+            ready = self.memory.fetch(thread, pc, self.now)
+            if ready > self.now + 2:
+                # A genuine I-cache miss: stall the thread until the fill
+                # arrives.  One-cycle bank-conflict delays are absorbed in
+                # place — re-attempting them would itself occupy the bank
+                # and can livelock two threads against each other.
+                ctx.fetch_stall_until = ready
+                continue
+            took_vector = False
+            group_line = pc >> 5
+            for __ in range(cfg.fetch_group_size):
+                if ctx.fetch_idx >= len(instructions):
+                    break
+                inst = instructions[ctx.fetch_idx]
+                if inst.pc >> 5 != group_line:
+                    # Fetch groups cannot cross an I-cache line boundary.
+                    break
+                ctx.fetch_idx += 1
+                mispredicted = False
+                if inst.is_branch:
+                    correct = self.predictor.predict_and_update(
+                        thread, inst.pc, inst.taken
+                    )
+                    mispredicted = not correct
+                ctx.decode.append((inst, mispredicted))
+                ctx.inflight_insts += 1
+                ctx.inflight_ops += inst.stream_length
+                fetched += 1
+                if inst.is_simd:
+                    took_vector = True
+                if mispredicted:
+                    ctx.fetch_blocked = True
+                    break
+                if inst.is_branch and inst.taken:
+                    break
+            ctx.fetched_vector_last = took_vector
+        return fetched
+
+    # ------------------------------------------------------------------ driver
+
+    def _skip_target(self) -> int:
+        """Earliest future cycle at which anything can happen."""
+        candidates = []
+        if self._wake:
+            candidates.append(min(self._wake))
+        for ctx in self.threads:
+            if ctx.trace is None or ctx.fetch_done:
+                continue
+            if not ctx.fetch_blocked and ctx.fetch_stall_until > self.now:
+                candidates.append(ctx.fetch_stall_until)
+        if not candidates:
+            return self.now + 1
+        # ``step`` has already advanced ``now`` past the last processed
+        # cycle, so the earliest candidate may be the *current* cycle —
+        # never skip beyond it or its wake entries would be orphaned.
+        return max(min(candidates), self.now)
+
+    def step(self) -> bool:
+        """Advance one cycle; returns whether any pipeline work happened.
+
+        Exposed so multi-core drivers (the CMP extension) can advance
+        several cores in lockstep against shared memory resources.
+        """
+        completed = self._complete()
+        committed = self._commit()
+        if not self._warm and self.committed >= self._warmup_commits:
+            self._warm = True
+            self._base_cycles = self.now
+            self._base_committed = self.committed
+            self._base_equiv = self.committed_equiv
+            self.memory.reset_stats()
+            self.predictor.lookups = 0
+            self.predictor.mispredicts = 0
+            self.vector_only_cycles = 0
+            self.active_cycles = 0
+        if self.scheduler.done:
+            return bool(completed or committed)
+        issued, issued_vector, issued_scalar = self._issue()
+        dispatched = self._dispatch()
+        fetched = self._fetch()
+        if issued:
+            self.active_cycles += 1
+            if issued_vector and not issued_scalar:
+                self.vector_only_cycles += 1
+        self._rotation += 1
+        self.now += 1
+        return bool(completed or committed or issued or dispatched or fetched)
+
+    def run(self) -> RunResult:
+        """Simulate until the completion target is reached."""
+        while not self.scheduler.done and self.now < self.max_cycles:
+            worked = self.step()
+            if not worked and not self.scheduler.done:
+                self.now = max(self.now, self._skip_target())
+        if self.now >= self.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded {self.max_cycles} cycles — livelock?"
+            )
+        return RunResult(
+            isa=self.config.isa,
+            n_threads=self.config.n_threads,
+            fetch_policy=self.fetch_policy.value,
+            cycles=self.now - self._base_cycles,
+            committed_instructions=self.committed - self._base_committed,
+            committed_equivalent=self.committed_equiv - self._base_equiv,
+            program_completions=self.scheduler.completions,
+            memory=self.memory.stats,
+            mispredict_rate=self.predictor.mispredict_rate,
+            issue_counts={
+                queue.name: queue.issued_total
+                for queue in self.queues.values()
+            },
+            vector_only_cycles=self.vector_only_cycles,
+            active_cycles=self.active_cycles,
+            per_program_committed=dict(self.per_program_committed),
+        )

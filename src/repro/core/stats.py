@@ -1,0 +1,112 @@
+"""Pipeline instrumentation: utilization histograms and fairness.
+
+An opt-in sampler that rides along with an :class:`SMTProcessor` run and
+collects the microarchitectural detail the summary metrics flatten out:
+per-queue issue-slot utilization, graduation-window occupancy, per-thread
+committed work (SMT fairness), and the scalar/vector issue mix the
+BALANCE fetch policy targets.  Used by ``examples/pipeline_report.py``
+and the test suite; costs one callback per simulated cycle when enabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.smt import SMTProcessor
+
+
+@dataclass
+class PipelineStats:
+    """Aggregated per-cycle samples from one instrumented run."""
+
+    cycles_sampled: int = 0
+    issue_histogram: dict[str, Counter] = field(default_factory=dict)
+    window_occupancy_sum: int = 0
+    window_capacity: int = 0
+    per_thread_committed: Counter = field(default_factory=Counter)
+    decode_occupancy_sum: int = 0
+
+    def issue_utilization(self, queue_name: str, width: int) -> float:
+        """Mean fraction of the queue's issue slots used per cycle."""
+        histogram = self.issue_histogram.get(queue_name)
+        if not histogram or not self.cycles_sampled:
+            return 0.0
+        issued = sum(count * slots for slots, count in histogram.items())
+        return issued / (self.cycles_sampled * width)
+
+    @property
+    def mean_window_occupancy(self) -> float:
+        if not self.cycles_sampled:
+            return 0.0
+        return self.window_occupancy_sum / self.cycles_sampled
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-thread committed work (0..1]."""
+        values = [v for v in self.per_thread_committed.values() if v > 0]
+        if not values:
+            return 1.0
+        total = sum(values)
+        squares = sum(v * v for v in values)
+        return (total * total) / (len(values) * squares)
+
+    def report(self, widths: dict[str, int]) -> str:
+        """Human-readable utilization summary."""
+        lines = [f"cycles sampled: {self.cycles_sampled}"]
+        for name, width in widths.items():
+            util = self.issue_utilization(name, width)
+            bar = "#" * int(round(util * 30))
+            lines.append(f"  {name:>5s} issue {util:6.1%} |{bar:<30s}|")
+        lines.append(
+            f"  window occupancy {self.mean_window_occupancy:6.1f}"
+            f" / {self.window_capacity}"
+        )
+        lines.append(f"  SMT fairness (Jain) {self.fairness_index():.3f}")
+        return "\n".join(lines)
+
+
+class InstrumentedRun:
+    """Drives a processor cycle by cycle, sampling pipeline state."""
+
+    def __init__(self, processor: SMTProcessor):
+        self.processor = processor
+        self.stats = PipelineStats(
+            window_capacity=processor.window.capacity,
+            issue_histogram={
+                queue.name: Counter() for queue in processor.queues.values()
+            },
+        )
+        self._issued_before = {
+            queue.name: queue.issued_total
+            for queue in processor.queues.values()
+        }
+
+    def run(self):
+        """Run to completion, sampling each active cycle; returns RunResult."""
+        processor = self.processor
+        stats = self.stats
+        while not processor.scheduler.done and processor.now < processor.max_cycles:
+            worked = processor.step()
+            stats.cycles_sampled += 1
+            for queue in processor.queues.values():
+                issued = queue.issued_total - self._issued_before[queue.name]
+                self._issued_before[queue.name] = queue.issued_total
+                stats.issue_histogram[queue.name][issued] += 1
+            stats.window_occupancy_sum += processor.window.occupancy
+            stats.decode_occupancy_sum += sum(
+                len(ctx.decode) for ctx in processor.threads
+            )
+            if not worked and not processor.scheduler.done:
+                processor.now = max(processor.now, processor._skip_target())
+        if processor.now >= processor.max_cycles:
+            raise RuntimeError("instrumented run exceeded max_cycles")
+        return self._finish()
+
+    def _finish(self):
+        for thread, committed in enumerate(
+            self.processor.committed_by_thread
+        ):
+            self.stats.per_thread_committed[thread] = committed
+        # Reuse the normal result assembly by calling run() on the
+        # already-finished processor (its loop exits immediately).
+        return self.processor.run()

@@ -1,0 +1,60 @@
+"""Instruction-set substrate for the DLP+TLP reproduction.
+
+This package defines the three instruction sets the paper evaluates:
+
+* the scalar Alpha-like base ISA (integer, floating point, memory, branch),
+* the MMX-like packed µ-SIMD extension (67 opcodes, 32 logical 64-bit
+  registers — the paper's approximation of SSE integer opcodes), and
+* the MOM streaming vector µ-SIMD extension (121 opcodes, 16 logical stream
+  registers of 16 64-bit words, two 192-bit packed accumulators, a
+  stream-length register and a stride field).
+
+It also provides executable semantics for packed sub-word arithmetic so the
+media kernels can be validated against reference implementations.
+"""
+
+from repro.isa.datatypes import (
+    ElementType,
+    LANE_COUNTS,
+    pack_lanes,
+    unpack_lanes,
+    saturate,
+)
+from repro.isa.opcodes import (
+    FuClass,
+    Opcode,
+    OPCODE_INFO,
+    latency_of,
+    fu_class_of,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.registers import RegisterClass, LogicalRegisters
+from repro.isa.mmx import MMX_OPCODES, MMX_LOGICAL_REGISTERS
+from repro.isa.mom import (
+    MOM_OPCODES,
+    MOM_STREAM_REGISTERS,
+    MOM_MAX_STREAM_LENGTH,
+    MOM_ACCUMULATORS,
+)
+
+__all__ = [
+    "ElementType",
+    "LANE_COUNTS",
+    "pack_lanes",
+    "unpack_lanes",
+    "saturate",
+    "FuClass",
+    "Opcode",
+    "OPCODE_INFO",
+    "latency_of",
+    "fu_class_of",
+    "Instruction",
+    "RegisterClass",
+    "LogicalRegisters",
+    "MMX_OPCODES",
+    "MMX_LOGICAL_REGISTERS",
+    "MOM_OPCODES",
+    "MOM_STREAM_REGISTERS",
+    "MOM_MAX_STREAM_LENGTH",
+    "MOM_ACCUMULATORS",
+]

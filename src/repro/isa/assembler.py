@@ -1,0 +1,160 @@
+"""A small assembler for the scalar + MMX + MOM instruction set.
+
+Syntax (one instruction per line; ``#`` starts a comment)::
+
+    li      r1, 4096          # load immediate
+    setslri 8                 # stream length = 8
+    vldq    v0, r1, 0, 8      # stream load, base r1+0, stride 8
+    vmaddawd a0, v0, v1       # accumulate products
+    vrdaccsd mm0, a0          # read accumulator, saturate to 32 bits
+    loop    r5, top           # decrement r5; branch to label if non-zero
+    top:                      # labels end with ':'
+
+Register operands: ``rN`` (scalar), ``mmN`` (packed), ``vN`` (stream),
+``aN`` (accumulator).  Bare integers (decimal or 0x hex) are immediates.
+``Program.run`` executes on a :class:`~repro.isa.machine.MediaMachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.machine import MediaMachine
+
+
+@dataclass(frozen=True)
+class AsmInstruction:
+    """One assembled instruction."""
+
+    mnemonic: str
+    operands: tuple = ()
+    label_target: str | None = None     # for control flow (loop/jmp)
+
+    def __str__(self) -> str:
+        parts = ", ".join(str(op) for op in self.operands)
+        return f"{self.mnemonic} {parts}".strip()
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label table."""
+
+    instructions: list[AsmInstruction]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def run(self, machine: MediaMachine | None = None,
+            max_steps: int = 1_000_000) -> MediaMachine:
+        """Execute to completion; returns the final machine state."""
+        machine = machine or MediaMachine()
+        pc = 0
+        steps = 0
+        while pc < len(self.instructions):
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("program exceeded max_steps — runaway loop?")
+            inst = self.instructions[pc]
+            if inst.mnemonic == "loop":
+                reg = inst.operands[0]
+                machine.r[reg] = (machine.r[reg] - 1) & ((1 << 64) - 1)
+                machine.executed += 1
+                if machine.r[reg] != 0:
+                    pc = self.labels[inst.label_target]
+                    continue
+            elif inst.mnemonic == "jmp":
+                machine.executed += 1
+                pc = self.labels[inst.label_target]
+                continue
+            else:
+                machine.execute(inst.mnemonic, list(inst.operands))
+            pc += 1
+        return machine
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly source."""
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    if not token:
+        raise AssemblerError("empty operand")
+    prefix_order = ("mm", "r", "v", "a")
+    for prefix in prefix_order:
+        if token.startswith(prefix) and token[len(prefix):].isdigit():
+            return int(token[len(prefix):])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"cannot parse operand {token!r}") from None
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    instructions: list[AsmInstruction] = []
+    labels: dict[str, int] = {}
+    pending_fixups: list[tuple[int, str]] = []
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t for t in (s.strip() for s in operand_text.split(",")) if t]
+        if mnemonic in ("loop", "jmp"):
+            if mnemonic == "loop":
+                if len(tokens) != 2:
+                    raise AssemblerError(
+                        f"line {line_no}: loop needs 'reg, label'"
+                    )
+                reg = _parse_operand(tokens[0])
+                target = tokens[1]
+            else:
+                if len(tokens) != 1:
+                    raise AssemblerError(f"line {line_no}: jmp needs 'label'")
+                reg = None
+                target = tokens[0]
+            operands = (reg,) if reg is not None else ()
+            instructions.append(
+                AsmInstruction(mnemonic, operands, label_target=target)
+            )
+            pending_fixups.append((len(instructions) - 1, target))
+            continue
+        operands = tuple(_parse_operand(t) for t in tokens)
+        instructions.append(AsmInstruction(mnemonic, operands))
+
+    for index, target in pending_fixups:
+        if target not in labels:
+            raise AssemblerError(f"undefined label {target!r}")
+    return Program(instructions, labels)
+
+
+def disassemble(program: Program) -> str:
+    """Render a program back to (label-annotated) source text."""
+    by_index: dict[int, list[str]] = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = []
+    for index, inst in enumerate(program.instructions):
+        for label in by_index.get(index, ()):
+            lines.append(f"{label}:")
+        if inst.label_target is not None:
+            operands = ", ".join(
+                [str(op) for op in inst.operands] + [inst.label_target]
+            )
+            lines.append(f"    {inst.mnemonic} {operands}")
+        else:
+            lines.append(f"    {inst}")
+    for label, index in program.labels.items():
+        if index == len(program.instructions):
+            lines.append(f"{label}:")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Packed sub-word data types and saturation arithmetic.
+
+µ-SIMD ISAs operate on 64-bit registers interpreted as vectors of small
+sub-word elements (bytes, half-words or words).  This module provides the
+executable ground truth for those interpretations: packing and unpacking
+lane values, two's-complement reinterpretation and the saturating
+arithmetic that distinguishes media ISAs from plain integer ALUs.
+
+All functions are pure and operate on Python integers so they can serve as
+a reference model in tests (including hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+import enum
+
+REGISTER_BITS = 64
+ACCUMULATOR_BITS = 192
+
+
+class ElementType(enum.Enum):
+    """Sub-word element interpretations of a 64-bit µ-SIMD register."""
+
+    INT8 = ("int8", 8, True)
+    UINT8 = ("uint8", 8, False)
+    INT16 = ("int16", 16, True)
+    UINT16 = ("uint16", 16, False)
+    INT32 = ("int32", 32, True)
+    UINT32 = ("uint32", 32, False)
+
+    def __init__(self, label: str, bits: int, signed: bool):
+        self.label = label
+        self.bits = bits
+        self.signed = signed
+
+    @property
+    def lanes(self) -> int:
+        """Number of elements packed in one 64-bit register."""
+        return REGISTER_BITS // self.bits
+
+    @property
+    def min_value(self) -> int:
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+
+LANE_COUNTS = {etype: etype.lanes for etype in ElementType}
+
+_U64_MASK = (1 << REGISTER_BITS) - 1
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Reinterpret a (possibly negative) integer as an unsigned field."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value: int, bits: int) -> int:
+    """Reinterpret the low ``bits`` of ``value`` as two's complement."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def saturate(value: int, etype: ElementType) -> int:
+    """Clamp ``value`` into the representable range of ``etype``."""
+    if value < etype.min_value:
+        return etype.min_value
+    if value > etype.max_value:
+        return etype.max_value
+    return value
+
+
+def wrap(value: int, etype: ElementType) -> int:
+    """Wrap ``value`` modulo the element width (non-saturating ALU result)."""
+    raw = value & ((1 << etype.bits) - 1)
+    if etype.signed:
+        return to_signed(raw, etype.bits)
+    return raw
+
+
+def pack_lanes(values, etype: ElementType) -> int:
+    """Pack an iterable of lane values into a 64-bit register image.
+
+    Lane 0 occupies the least-significant bits, matching the little-endian
+    layout used by MMX/SSE.  Values must already be representable in
+    ``etype`` (use :func:`saturate` or :func:`wrap` first).
+    """
+    values = list(values)
+    if len(values) != etype.lanes:
+        raise ValueError(
+            f"expected {etype.lanes} lanes for {etype.label}, got {len(values)}"
+        )
+    word = 0
+    for lane, value in enumerate(values):
+        if not etype.min_value <= value <= etype.max_value:
+            raise ValueError(
+                f"lane {lane} value {value} out of range for {etype.label}"
+            )
+        word |= to_unsigned(value, etype.bits) << (lane * etype.bits)
+    return word & _U64_MASK
+
+
+def unpack_lanes(word: int, etype: ElementType) -> list[int]:
+    """Split a 64-bit register image into its lane values."""
+    if not 0 <= word <= _U64_MASK:
+        raise ValueError(f"register image {word:#x} is not a u64")
+    lanes = []
+    for lane in range(etype.lanes):
+        raw = (word >> (lane * etype.bits)) & ((1 << etype.bits) - 1)
+        lanes.append(to_signed(raw, etype.bits) if etype.signed else raw)
+    return lanes
+
+
+def lanewise(op, a: int, b: int, etype: ElementType, *, saturating: bool) -> int:
+    """Apply a binary lane operation to two register images.
+
+    ``op`` receives two lane values and returns an (unbounded) integer; the
+    result is saturated or wrapped per ``saturating`` and repacked.
+    """
+    fix = saturate if saturating else wrap
+    out = [
+        fix(op(x, y), etype)
+        for x, y in zip(unpack_lanes(a, etype), unpack_lanes(b, etype))
+    ]
+    return pack_lanes(out, etype)
+
+
+def lanewise_unary(op, a: int, etype: ElementType, *, saturating: bool) -> int:
+    """Apply a unary lane operation to a register image."""
+    fix = saturate if saturating else wrap
+    out = [fix(op(x), etype) for x in unpack_lanes(a, etype)]
+    return pack_lanes(out, etype)

@@ -1,0 +1,136 @@
+"""The decoded instruction record — the unit of every trace.
+
+Traces produced by :mod:`repro.tracegen` are sequences of immutable
+``Instruction`` objects.  The simulator never mutates them; all dynamic
+state (rename mappings, issue/retire timestamps) lives in per-in-flight
+records inside :mod:`repro.core`.  ``__slots__`` keeps the millions of
+records created during an experiment cheap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode, OPCODE_INFO
+from repro.isa.registers import NO_REG
+
+
+class Instruction:
+    """One decoded dynamic instruction.
+
+    Parameters
+    ----------
+    op:
+        Opcode class (determines queue, functional unit and latency).
+    pc:
+        Virtual address of the instruction (drives the I-cache model).
+    dst:
+        Destination logical register identifier, or ``NO_REG``.
+    srcs:
+        Tuple of source logical register identifiers.
+    mem_addr, mem_size:
+        Effective address and access size for memory operations.  For MOM
+        stream memory operations this is the *base* address of the stream.
+    stream_length:
+        Number of packed sub-instructions a MOM stream instruction expands
+        to (1..16); always 1 for non-stream instructions.
+    stride:
+        Byte distance between consecutive stream elements in memory
+        (stream memory operations only).
+    taken, target:
+        Branch outcome and destination for control instructions.
+    equiv_mmx:
+        Number of dynamic instructions the *MMX version* of the same
+        program needs for this unit of work.  Used to compute the paper's
+        EIPC metric; equals 1 for ordinary instructions.
+    """
+
+    __slots__ = (
+        "op",
+        "pc",
+        "dst",
+        "srcs",
+        "mem_addr",
+        "mem_size",
+        "stream_length",
+        "stride",
+        "taken",
+        "target",
+        "equiv_mmx",
+    )
+
+    def __init__(
+        self,
+        op: Opcode,
+        pc: int = 0,
+        dst: int = NO_REG,
+        srcs: tuple[int, ...] = (),
+        mem_addr: int = 0,
+        mem_size: int = 8,
+        stream_length: int = 1,
+        stride: int = 0,
+        taken: bool = False,
+        target: int = 0,
+        equiv_mmx: float = 1.0,
+    ):
+        info = OPCODE_INFO[op]
+        if stream_length < 1:
+            raise ValueError("stream_length must be >= 1")
+        if stream_length > 1 and not info.is_stream:
+            raise ValueError(f"{op.name} cannot carry a stream length")
+        self.op = op
+        self.pc = pc
+        self.dst = dst
+        self.srcs = srcs
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.stream_length = stream_length
+        self.stride = stride
+        self.taken = taken
+        self.target = target
+        self.equiv_mmx = equiv_mmx
+
+    @property
+    def is_mem(self) -> bool:
+        return OPCODE_INFO[self.op].is_mem
+
+    @property
+    def is_store(self) -> bool:
+        return OPCODE_INFO[self.op].is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return OPCODE_INFO[self.op].is_branch
+
+    @property
+    def is_simd(self) -> bool:
+        return OPCODE_INFO[self.op].is_simd
+
+    @property
+    def is_stream(self) -> bool:
+        return OPCODE_INFO[self.op].is_stream
+
+    @property
+    def count_weight(self) -> int:
+        """How many instructions this record counts as in breakdowns.
+
+        The paper counts each MOM instruction multiplied by its stream
+        length so MMX and MOM instruction counts are comparable.
+        """
+        return self.stream_length
+
+    def stream_addresses(self) -> list[int]:
+        """Effective addresses touched by a stream memory operation."""
+        if not self.is_mem:
+            raise ValueError(f"{self.op.name} is not a memory operation")
+        return [
+            self.mem_addr + i * self.stride for i in range(self.stream_length)
+        ]
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_mem:
+            extra = f" addr={self.mem_addr:#x}"
+        if self.stream_length > 1:
+            extra += f" sl={self.stream_length} stride={self.stride}"
+        if self.is_branch:
+            extra += f" taken={self.taken}"
+        return f"<Instruction {self.op.name} pc={self.pc:#x}{extra}>"

@@ -1,0 +1,271 @@
+"""An architectural-state machine for the scalar + µ-SIMD ISAs.
+
+While :mod:`repro.core` models *timing*, this module models *function*:
+a register file, a byte-addressed memory, and an executor for assembly
+programs written with the real MMX/MOM mnemonics.  It exists so the ISA
+tables are not just documentation — kernels can be written in MOM
+assembly, executed, and checked against the Python reference kernels
+(see ``tests/test_isa_machine.py`` and ``examples/mom_assembly.py``).
+
+Supported instruction forms (see :mod:`repro.isa.assembler` for syntax):
+
+* scalar: ``li``, ``add``, ``sub``, ``mul``, ``ld``, ``st``, loops via
+  ``loop`` (decrement-and-branch);
+* MMX: any mnemonic with modeled semantics in
+  :mod:`repro.isa.semantics`, plus ``movq_ld``/``movq_st``;
+* MOM: stream arithmetic (element-wise over stream registers), strided
+  stream loads/stores (``vldq``/``vstq``), accumulator reductions
+  (``vmaddawd``, ``vsadab``, ``vaddaw``), accumulator readout and
+  ``setslri``/``mtslr``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.datatypes import ElementType as ET, REGISTER_BITS
+from repro.isa.mmx import MMX_LOGICAL_REGISTERS, MMX_OPCODES
+from repro.isa.mom import (
+    MOM_ACCUMULATORS,
+    MOM_MAX_STREAM_LENGTH,
+    MOM_OPCODES,
+    MOM_STREAM_REGISTERS,
+)
+from repro.isa.semantics import (
+    PackedAccumulator,
+    execute_mmx,
+    execute_mmx3,
+    psadbw,
+)
+
+_U64 = (1 << REGISTER_BITS) - 1
+
+
+class ByteMemory:
+    """Sparse little-endian byte-addressed memory."""
+
+    def __init__(self):
+        self._bytes: dict[int, int] = {}
+
+    def read(self, addr: int, size: int) -> int:
+        value = 0
+        for i in range(size):
+            value |= self._bytes.get(addr + i, 0) << (8 * i)
+        return value
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        if value < 0:
+            value &= (1 << (8 * size)) - 1
+        for i in range(size):
+            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+
+    def write_words(self, addr: int, words, stride: int = 8) -> None:
+        for i, word in enumerate(words):
+            self.write(addr + i * stride, word, 8)
+
+    def read_words(self, addr: int, count: int, stride: int = 8) -> list[int]:
+        return [self.read(addr + i * stride, 8) for i in range(count)]
+
+
+class MediaMachine:
+    """Architectural state: scalar, MMX, MOM registers and memory."""
+
+    def __init__(self):
+        self.r = [0] * 32                                # scalar integer
+        self.mm = [0] * MMX_LOGICAL_REGISTERS            # packed 64-bit
+        self.v = [
+            [0] * MOM_MAX_STREAM_LENGTH for __ in range(MOM_STREAM_REGISTERS)
+        ]
+        self.acc = [PackedAccumulator() for __ in range(MOM_ACCUMULATORS)]
+        self.slr = MOM_MAX_STREAM_LENGTH                 # stream length
+        self.memory = ByteMemory()
+        self.executed = 0
+
+    # ----- helpers ----------------------------------------------------------
+
+    def _check_slr(self) -> int:
+        if not 1 <= self.slr <= MOM_MAX_STREAM_LENGTH:
+            raise ValueError(f"stream length register out of range: {self.slr}")
+        return self.slr
+
+    # ----- scalar ----------------------------------------------------------
+
+    def exec_scalar(self, op: str, operands: list) -> None:
+        if op == "li":
+            self.r[operands[0]] = operands[1] & _U64
+        elif op == "add":
+            self.r[operands[0]] = (
+                self.r[operands[1]] + self.r[operands[2]]
+            ) & _U64
+        elif op == "addi":
+            self.r[operands[0]] = (self.r[operands[1]] + operands[2]) & _U64
+        elif op == "sub":
+            self.r[operands[0]] = (
+                self.r[operands[1]] - self.r[operands[2]]
+            ) & _U64
+        elif op == "mul":
+            self.r[operands[0]] = (
+                self.r[operands[1]] * self.r[operands[2]]
+            ) & _U64
+        elif op == "ld":
+            self.r[operands[0]] = self.memory.read(
+                self.r[operands[1]] + operands[2], 8
+            )
+        elif op == "st":
+            self.memory.write(
+                self.r[operands[1]] + operands[2], self.r[operands[0]], 8
+            )
+        else:
+            raise KeyError(f"unknown scalar mnemonic {op!r}")
+
+    # ----- MMX ----------------------------------------------------------------
+
+    def exec_mmx(self, op: str, operands: list) -> None:
+        if op not in MMX_OPCODES:
+            raise KeyError(f"unknown MMX mnemonic {op!r}")
+        spec = MMX_OPCODES[op]
+        if op == "movq_ld":
+            self.mm[operands[0]] = self.memory.read(
+                self.r[operands[1]] + operands[2], 8
+            )
+            return
+        if op == "movq_st":
+            self.memory.write(
+                self.r[operands[1]] + operands[2], self.mm[operands[0]], 8
+            )
+            return
+        if spec.sources == 3:
+            self.mm[operands[0]] = execute_mmx3(
+                op,
+                self.mm[operands[1]],
+                self.mm[operands[2]],
+                self.mm[operands[3]],
+            )
+            return
+        if spec.sources == 1:
+            imm = operands[2] if len(operands) > 2 else 0
+            self.mm[operands[0]] = execute_mmx(
+                op, self.mm[operands[1]], imm=imm
+            )
+            return
+        self.mm[operands[0]] = execute_mmx(
+            op, self.mm[operands[1]], self.mm[operands[2]]
+        )
+
+    # ----- MOM -----------------------------------------------------------------
+
+    def exec_mom(self, op: str, operands: list) -> None:
+        if op not in MOM_OPCODES:
+            raise KeyError(f"unknown MOM mnemonic {op!r}")
+        length = self._check_slr()
+        if op == "setslri":
+            self.slr = operands[0]
+            self._check_slr()
+            return
+        if op == "mtslr":
+            self.slr = self.r[operands[0]]
+            self._check_slr()
+            return
+        if op == "mfslr":
+            self.r[operands[0]] = self.slr
+            return
+        if op in ("vldq", "vldw", "vldd", "vldb", "vldub", "vlduw"):
+            base = self.r[operands[1]] + operands[2]
+            stride = operands[3] if len(operands) > 3 else 8
+            self.v[operands[0]][:length] = self.memory.read_words(
+                base, length, stride
+            )
+            return
+        if op in ("vstq", "vstw", "vstd", "vstb"):
+            base = self.r[operands[1]] + operands[2]
+            stride = operands[3] if len(operands) > 3 else 8
+            self.memory.write_words(
+                base, self.v[operands[0]][:length], stride
+            )
+            return
+        if op == "vclracc":
+            self.acc[operands[0]].clear()
+            return
+        if op == "vaddaw":
+            self.acc[operands[0]].add_stream(self.v[operands[1]][:length])
+            return
+        if op == "vsubaw":
+            self.acc[operands[0]].add_stream(
+                self.v[operands[1]][:length], sign=-1
+            )
+            return
+        if op == "vmaddawd":
+            self.acc[operands[0]].madd_stream(
+                self.v[operands[1]][:length], self.v[operands[2]][:length]
+            )
+            return
+        if op == "vsadab":
+            self.acc[operands[0]].sad_stream(
+                self.v[operands[1]][:length], self.v[operands[2]][:length]
+            )
+            return
+        if op.startswith("vrdacc"):
+            etype = {
+                "vrdaccsb": ET.INT8,
+                "vrdaccsw": ET.INT16,
+                "vrdaccsd": ET.INT32,
+                "vrdaccub": ET.UINT8,
+                "vrdaccuw": ET.UINT16,
+                "vrdaccud": ET.UINT32,
+            }[op]
+            self.mm[operands[0]] = self.acc[operands[1]].read(etype)
+            return
+        if op == "vsumd":
+            # Reduce: scalar sum of 32-bit lanes over the stream.
+            total = 0
+            for word in self.v[operands[1]][:length]:
+                lanes = [(word >> 32 * i) & 0xFFFFFFFF for i in range(2)]
+                total += sum(lanes)
+            self.r[operands[0]] = total & _U64
+            return
+        if op == "vsadbw":
+            total = 0
+            for wa, wb in zip(
+                self.v[operands[1]][:length], self.v[operands[2]][:length]
+            ):
+                total += psadbw(wa, wb)
+            self.r[operands[0]] = total & _U64
+            return
+        if op == "vsplatq":
+            self.v[operands[0]][:length] = [self.mm[operands[1]]] * length
+            return
+        if op == "vmov":
+            self.v[operands[0]][:length] = list(self.v[operands[1]][:length])
+            return
+        if op == "vzero":
+            self.v[operands[0]][:length] = [0] * length
+            return
+        # Generic element-wise stream arithmetic: apply the MMX semantic
+        # "p" + suffix per element — the architectural definition of MOM.
+        spec = MOM_OPCODES[op]
+        base_mnemonic = "p" + op[1:]
+        dst, src_a = operands[0], operands[1]
+        if spec.sources >= 2:
+            src_b = operands[2]
+            self.v[dst][:length] = [
+                execute_mmx(base_mnemonic, a, b)
+                for a, b in zip(
+                    self.v[src_a][:length], self.v[src_b][:length]
+                )
+            ]
+        else:
+            imm = operands[2] if len(operands) > 2 else 0
+            self.v[dst][:length] = [
+                execute_mmx(base_mnemonic, a, imm=imm)
+                for a in self.v[src_a][:length]
+            ]
+
+    # ----- dispatch ---------------------------------------------------------------
+
+    def execute(self, op: str, operands: list) -> None:
+        """Execute one decoded instruction (mnemonic + operand list)."""
+        self.executed += 1
+        if op in MOM_OPCODES:
+            self.exec_mom(op, operands)
+        elif op in MMX_OPCODES:
+            self.exec_mmx(op, operands)
+        else:
+            self.exec_scalar(op, operands)

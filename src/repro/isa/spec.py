@@ -1,0 +1,42 @@
+"""Mnemonic-level opcode specification shared by the MMX and MOM tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.datatypes import ElementType
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class MnemonicSpec:
+    """One architectural opcode of a µ-SIMD extension.
+
+    ``sim_class`` maps the mnemonic onto the dynamic opcode class the
+    simulator executes; ``etype`` is the sub-word interpretation (``None``
+    for type-agnostic operations such as full-register logic ops);
+    ``sources`` is the number of register sources (the paper extends SSE
+    with multiple-source-register operations).
+    """
+
+    mnemonic: str
+    sim_class: Opcode
+    etype: ElementType | None = None
+    sources: int = 2
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.mnemonic:
+            raise ValueError("mnemonic must be non-empty")
+        if self.sources < 0 or self.sources > 3:
+            raise ValueError("sources must be between 0 and 3")
+
+
+def build_table(specs: list[MnemonicSpec]) -> dict[str, MnemonicSpec]:
+    """Index a spec list by mnemonic, rejecting duplicates."""
+    table: dict[str, MnemonicSpec] = {}
+    for spec in specs:
+        if spec.mnemonic in table:
+            raise ValueError(f"duplicate mnemonic {spec.mnemonic!r}")
+        table[spec.mnemonic] = spec
+    return table

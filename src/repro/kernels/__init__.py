@@ -1,0 +1,75 @@
+"""Media kernels underlying the paper's Mediabench workload.
+
+These are real, functional implementations of the algorithms that dominate
+the seven workload programs (table 2 of the paper): DCT/IDCT and
+quantization (JPEG, MPEG-2), block-matching motion estimation (MPEG-2
+encode), colour conversion and downsampling (JPEG), LPC/LTP filters (GSM),
+entropy coding (all codecs — the hard-to-vectorize "protocol overhead"),
+and 3D geometry/rasterization (Mesa).
+
+They serve three purposes:
+
+* the example applications run them end-to-end (encode/decode real frames),
+* the packed variants exercise the executable µ-SIMD semantics of
+  :mod:`repro.isa.semantics` and validate them against scalar references,
+* the trace compiler (:mod:`repro.tracegen`) lowers their loop structures
+  into the instruction traces the SMT simulator consumes.
+"""
+
+from repro.kernels.dct import dct2d, idct2d, fdct_fixed, idct_fixed
+from repro.kernels.blockmatch import (
+    sad_block,
+    sad_block_packed,
+    full_search,
+    three_step_search,
+)
+from repro.kernels.quant import quantize, dequantize, quantize_packed
+from repro.kernels.color import rgb_to_ycbcr, ycbcr_to_rgb, downsample_420
+from repro.kernels.fir import fir_filter, fir_filter_packed, iir_biquad
+from repro.kernels.gsm import (
+    preprocess,
+    autocorrelation,
+    reflection_coefficients,
+    ltp_search,
+    ltp_search_packed,
+)
+from repro.kernels.jpeg import zigzag, inverse_zigzag, rle_encode, rle_decode
+from repro.kernels.mesa3d import (
+    Vertex,
+    transform_vertices,
+    perspective_divide,
+    rasterize_triangle,
+)
+
+__all__ = [
+    "dct2d",
+    "idct2d",
+    "fdct_fixed",
+    "idct_fixed",
+    "sad_block",
+    "sad_block_packed",
+    "full_search",
+    "three_step_search",
+    "quantize",
+    "dequantize",
+    "quantize_packed",
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "downsample_420",
+    "fir_filter",
+    "fir_filter_packed",
+    "iir_biquad",
+    "preprocess",
+    "autocorrelation",
+    "reflection_coefficients",
+    "ltp_search",
+    "ltp_search_packed",
+    "zigzag",
+    "inverse_zigzag",
+    "rle_encode",
+    "rle_decode",
+    "Vertex",
+    "transform_vertices",
+    "perspective_divide",
+    "rasterize_triangle",
+]

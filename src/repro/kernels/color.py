@@ -1,0 +1,91 @@
+"""Colour-space conversion and chroma downsampling (JPEG front end).
+
+Fixed-point ITU-R BT.601 RGB <-> YCbCr conversion, the classic packed
+multiply-accumulate kernel, plus 4:2:0 chroma downsampling (packed
+averaging, ``pavgb``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fixed-point fractional bits for the conversion matrices.
+CSC_BITS = 16
+_HALF = 1 << (CSC_BITS - 1)
+
+# BT.601 full-range coefficients, scaled to 16-bit fixed point.
+_Y_COEF = (
+    round(0.299 * (1 << CSC_BITS)),
+    round(0.587 * (1 << CSC_BITS)),
+    round(0.114 * (1 << CSC_BITS)),
+)
+_CB_COEF = (
+    round(-0.168736 * (1 << CSC_BITS)),
+    round(-0.331264 * (1 << CSC_BITS)),
+    round(0.5 * (1 << CSC_BITS)),
+)
+_CR_COEF = (
+    round(0.5 * (1 << CSC_BITS)),
+    round(-0.418688 * (1 << CSC_BITS)),
+    round(-0.081312 * (1 << CSC_BITS)),
+)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an (H, W, 3) uint8 RGB image to YCbCr (uint8)."""
+    rgb = np.asarray(rgb, dtype=np.int64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError("expected an (H, W, 3) image")
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = (_Y_COEF[0] * r + _Y_COEF[1] * g + _Y_COEF[2] * b + _HALF) >> CSC_BITS
+    cb = 128 + (
+        (_CB_COEF[0] * r + _CB_COEF[1] * g + _CB_COEF[2] * b + _HALF) >> CSC_BITS
+    )
+    cr = 128 + (
+        (_CR_COEF[0] * r + _CR_COEF[1] * g + _CR_COEF[2] * b + _HALF) >> CSC_BITS
+    )
+    out = np.stack([y, cb, cr], axis=-1)
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Convert an (H, W, 3) uint8 YCbCr image back to RGB (uint8)."""
+    ycbcr = np.asarray(ycbcr, dtype=np.int64)
+    if ycbcr.ndim != 3 or ycbcr.shape[2] != 3:
+        raise ValueError("expected an (H, W, 3) image")
+    y = ycbcr[..., 0]
+    cb = ycbcr[..., 1] - 128
+    cr = ycbcr[..., 2] - 128
+    one = 1 << CSC_BITS
+    r = (y * one + round(1.402 * one) * cr + _HALF) >> CSC_BITS
+    g = (
+        y * one - round(0.344136 * one) * cb - round(0.714136 * one) * cr + _HALF
+    ) >> CSC_BITS
+    b = (y * one + round(1.772 * one) * cb + _HALF) >> CSC_BITS
+    out = np.stack([r, g, b], axis=-1)
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def downsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 rounded-average chroma downsampling (4:4:4 -> 4:2:0).
+
+    The rounded average of four neighbours is two chained ``pavgb``
+    operations in the packed implementation.
+    """
+    plane = np.asarray(plane, dtype=np.int64)
+    height, width = plane.shape
+    if height % 2 or width % 2:
+        raise ValueError("plane dimensions must be even")
+    quad = (
+        plane[0::2, 0::2]
+        + plane[0::2, 1::2]
+        + plane[1::2, 0::2]
+        + plane[1::2, 1::2]
+    )
+    return ((quad + 2) >> 2).astype(np.uint8)
+
+
+def upsample_420(plane: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour chroma upsampling (4:2:0 -> 4:4:4)."""
+    plane = np.asarray(plane)
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)

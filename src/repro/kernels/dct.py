@@ -1,0 +1,88 @@
+"""8x8 discrete cosine transform kernels (JPEG / MPEG-2).
+
+Provides a float reference DCT-II/DCT-III pair and the fixed-point 16-bit
+variants real codecs use — the fixed-point forward transform is the loop
+the trace compiler lowers to ``pmaddwd``/``vmaddawd`` sequences.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+BLOCK = 8
+
+#: Fixed-point fractional bits used by the integer transforms.
+FIXED_BITS = 13
+FIXED_ONE = 1 << FIXED_BITS
+
+
+def _dct_matrix() -> np.ndarray:
+    """The orthonormal 8x8 DCT-II basis matrix."""
+    mat = np.zeros((BLOCK, BLOCK))
+    for k in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if k == 0 else math.sqrt(2.0 / BLOCK)
+        for n in range(BLOCK):
+            mat[k, n] = scale * math.cos(math.pi * (2 * n + 1) * k / (2 * BLOCK))
+    return mat
+
+
+_DCT = _dct_matrix()
+_DCT_FIXED = np.round(_DCT * FIXED_ONE).astype(np.int64)
+
+
+def dct2d(block: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of an 8x8 block (float reference)."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an {BLOCK}x{BLOCK} block, got {block.shape}")
+    return _DCT @ block @ _DCT.T
+
+
+def idct2d(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of an 8x8 coefficient block (float reference)."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an {BLOCK}x{BLOCK} block, got {coeffs.shape}")
+    return _DCT.T @ coeffs @ _DCT
+
+
+def fdct_fixed(block: np.ndarray) -> np.ndarray:
+    """Fixed-point forward DCT, as an integer codec computes it.
+
+    Each output coefficient is a sum of products of 16-bit samples with
+    13-bit fixed-point cosines — exactly the multiply-accumulate pattern
+    that maps onto packed ``pmaddwd`` (MMX) or a single accumulator-based
+    stream instruction (MOM).
+    """
+    block = np.asarray(block, dtype=np.int64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an {BLOCK}x{BLOCK} block, got {block.shape}")
+    rows = (_DCT_FIXED @ block + (FIXED_ONE >> 1)) >> FIXED_BITS
+    full = (rows @ _DCT_FIXED.T + (FIXED_ONE >> 1)) >> FIXED_BITS
+    return full.astype(np.int64)
+
+
+def idct_fixed(coeffs: np.ndarray) -> np.ndarray:
+    """Fixed-point inverse DCT matching :func:`fdct_fixed`."""
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    if coeffs.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected an {BLOCK}x{BLOCK} block, got {coeffs.shape}")
+    rows = (_DCT_FIXED.T @ coeffs + (FIXED_ONE >> 1)) >> FIXED_BITS
+    full = (rows @ _DCT_FIXED + (FIXED_ONE >> 1)) >> FIXED_BITS
+    return full.astype(np.int64)
+
+
+def blocks_of(image: np.ndarray):
+    """Iterate (y, x, block) over the 8x8 tiling of an image.
+
+    The image dimensions must be multiples of 8 (codecs pad beforehand).
+    """
+    image = np.asarray(image)
+    height, width = image.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError("image dimensions must be multiples of 8")
+    for y in range(0, height, BLOCK):
+        for x in range(0, width, BLOCK):
+            yield y, x, image[y : y + BLOCK, x : x + BLOCK]

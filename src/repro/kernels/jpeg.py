@@ -1,0 +1,166 @@
+"""JPEG entropy-stage kernels: zigzag scan, run-length and Huffman coding.
+
+These are the "protocol overhead" portions of the image codecs — table
+lookups, bit twiddling and data-dependent branches that resist
+vectorization and keep the integer pipeline busy (the paper's central
+observation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _zigzag_order() -> list[tuple[int, int]]:
+    """Visit order of the classic 8x8 zigzag scan."""
+    order = []
+    for s in range(2 * BLOCK - 1):
+        if s % 2 == 0:
+            y = min(s, BLOCK - 1)
+            while y >= 0 and s - y < BLOCK:
+                order.append((y, s - y))
+                y -= 1
+        else:
+            x = min(s, BLOCK - 1)
+            while x >= 0 and s - x < BLOCK:
+                order.append((s - x, x))
+                x -= 1
+    return order
+
+
+ZIGZAG_ORDER = _zigzag_order()
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block in zigzag order."""
+    block = np.asarray(block)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError("expected an 8x8 block")
+    return np.array([block[y, x] for y, x in ZIGZAG_ORDER])
+
+
+def inverse_zigzag(flat: np.ndarray) -> np.ndarray:
+    """Rebuild an 8x8 block from its zigzag scan."""
+    flat = np.asarray(flat)
+    if flat.shape != (BLOCK * BLOCK,):
+        raise ValueError("expected 64 coefficients")
+    block = np.zeros((BLOCK, BLOCK), dtype=flat.dtype)
+    for value, (y, x) in zip(flat, ZIGZAG_ORDER):
+        block[y, x] = value
+    return block
+
+
+def rle_encode(flat: np.ndarray) -> list[tuple[int, int]]:
+    """JPEG-style (zero-run, level) encoding with an end-of-block marker.
+
+    Returns a list of ``(run, level)`` pairs; ``(0, 0)`` terminates the
+    block.  Runs longer than 15 emit ``(15, 0)`` ZRL symbols as in the
+    standard.
+    """
+    pairs: list[tuple[int, int]] = []
+    run = 0
+    for value in np.asarray(flat):
+        value = int(value)
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            pairs.append((15, 0))
+            run -= 16
+        pairs.append((run, value))
+        run = 0
+    pairs.append((0, 0))
+    return pairs
+
+
+def rle_decode(pairs: list[tuple[int, int]], length: int = 64) -> np.ndarray:
+    """Invert :func:`rle_encode`."""
+    out = np.zeros(length, dtype=np.int64)
+    pos = 0
+    for run, level in pairs:
+        if (run, level) == (0, 0):
+            break
+        if run == 15 and level == 0:
+            pos += 16
+            continue
+        pos += run
+        if pos >= length:
+            raise ValueError("run-length data overflows the block")
+        out[pos] = level
+        pos += 1
+    return out
+
+
+class HuffmanCodec:
+    """Canonical Huffman codec over arbitrary hashable symbols.
+
+    Bit-serial encode/decode with data-dependent table walks — the
+    archetypal scalar media kernel.
+    """
+
+    def __init__(self, frequencies: dict):
+        if not frequencies:
+            raise ValueError("cannot build a code over no symbols")
+        self.code: dict = {}
+        if len(frequencies) == 1:
+            symbol = next(iter(frequencies))
+            self.code[symbol] = "0"
+        else:
+            heap = [
+                (freq, i, symbol)
+                for i, (symbol, freq) in enumerate(sorted(frequencies.items(), key=str))
+            ]
+            heapq.heapify(heap)
+            next_id = len(heap)
+            parents: dict = {}
+            while len(heap) > 1:
+                f1, i1, s1 = heapq.heappop(heap)
+                f2, i2, s2 = heapq.heappop(heap)
+                node = ("node", next_id)
+                parents[node] = (s1, s2)
+                heapq.heappush(heap, (f1 + f2, next_id, node))
+                next_id += 1
+            __, __, root = heap[0]
+            self._assign(root, "", parents)
+        self._decode_tree = {bits: symbol for symbol, bits in self.code.items()}
+
+    def _assign(self, node, prefix: str, parents: dict) -> None:
+        if isinstance(node, tuple) and node and node[0] == "node":
+            left, right = parents[node]
+            self._assign(left, prefix + "0", parents)
+            self._assign(right, prefix + "1", parents)
+        else:
+            self.code[node] = prefix or "0"
+
+    @classmethod
+    def from_symbols(cls, symbols) -> "HuffmanCodec":
+        return cls(Counter(symbols))
+
+    def encode(self, symbols) -> str:
+        """Encode an iterable of symbols to a bit string."""
+        return "".join(self.code[s] for s in symbols)
+
+    def decode(self, bits: str) -> list:
+        """Decode a bit string back to the symbol list."""
+        out = []
+        current = ""
+        for bit in bits:
+            current += bit
+            if current in self._decode_tree:
+                out.append(self._decode_tree[current])
+                current = ""
+        if current:
+            raise ValueError("trailing bits do not form a codeword")
+        return out
+
+    def mean_code_length(self, frequencies: dict) -> float:
+        """Expected bits per symbol under this code."""
+        total = sum(frequencies.values())
+        return sum(
+            freq * len(self.code[symbol]) for symbol, freq in frequencies.items()
+        ) / total

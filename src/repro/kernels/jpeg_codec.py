@@ -1,0 +1,206 @@
+"""A complete baseline-JPEG-style image codec built from the kernels.
+
+The full pipeline of the workload's ``jpegenc``/``jpegdec`` programs:
+RGB -> YCbCr conversion, 4:2:0 chroma subsampling, 8x8 DCT, quality-scaled
+quantization, zigzag + run-length coding, and Huffman entropy coding to
+an actual bit string — then the exact inverse.  Grey-scale ("luma only")
+mode is also supported.
+
+This is functional code (used by the examples and to ground the trace
+model); it is not meant to be bit-compatible with ITU T.81 files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.color import (
+    downsample_420,
+    rgb_to_ycbcr,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.kernels.dct import BLOCK, blocks_of, fdct_fixed, idct_fixed
+from repro.kernels.jpeg import (
+    HuffmanCodec,
+    inverse_zigzag,
+    rle_decode,
+    rle_encode,
+    zigzag,
+)
+from repro.kernels.quant import (
+    JPEG_LUMA_QTABLE,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+
+
+@dataclass
+class EncodedImage:
+    """A coded image: per-plane bitstreams plus the symbol codec."""
+
+    height: int
+    width: int
+    quality: int
+    color: bool
+    plane_bits: dict[str, str]
+    plane_block_counts: dict[str, int] = field(default_factory=dict)
+    codec: HuffmanCodec | None = None
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(bits) for bits in self.plane_bits.values())
+
+    def compression_ratio(self) -> float:
+        raw_bits = self.height * self.width * (24 if self.color else 8)
+        return raw_bits / max(self.total_bits, 1)
+
+
+def _pad_to_block_multiple(plane: np.ndarray) -> np.ndarray:
+    height, width = plane.shape
+    pad_y = (-height) % BLOCK
+    pad_x = (-width) % BLOCK
+    if pad_y or pad_x:
+        plane = np.pad(plane, ((0, pad_y), (0, pad_x)), mode="edge")
+    return plane
+
+
+def _code_plane(plane: np.ndarray, qtable: np.ndarray) -> list[tuple[int, int]]:
+    """DCT + quantize + zigzag + RLE a whole plane into symbols."""
+    symbols: list[tuple[int, int]] = []
+    for __, __, block in blocks_of(plane):
+        coeffs = fdct_fixed(block.astype(np.int64) - 128)
+        levels = quantize(coeffs, qtable)
+        symbols.extend(rle_encode(zigzag(levels)))
+    return symbols
+
+
+def _decode_plane(
+    symbols: list[tuple[int, int]],
+    height: int,
+    width: int,
+    qtable: np.ndarray,
+) -> np.ndarray:
+    plane = np.zeros((height, width), dtype=np.int64)
+    index = 0
+    for y in range(0, height, BLOCK):
+        for x in range(0, width, BLOCK):
+            block_symbols = []
+            while True:
+                pair = symbols[index]
+                index += 1
+                block_symbols.append(pair)
+                if pair == (0, 0):
+                    break
+            levels = inverse_zigzag(rle_decode(block_symbols))
+            coeffs = dequantize(levels, qtable)
+            plane[y : y + BLOCK, x : x + BLOCK] = idct_fixed(coeffs) + 128
+    return np.clip(plane, 0, 255).astype(np.uint8)
+
+
+class JpegCodec:
+    """Encode/decode grey-scale or RGB images end to end."""
+
+    def __init__(self, quality: int = 75):
+        self.quality = quality
+        self.qtable = scale_qtable(JPEG_LUMA_QTABLE, quality)
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        image = np.asarray(image)
+        color = image.ndim == 3
+        height, width = image.shape[:2]
+        planes: dict[str, np.ndarray] = {}
+        if color:
+            ycc = rgb_to_ycbcr(image)
+            planes["y"] = _pad_to_block_multiple(ycc[..., 0])
+            planes["cb"] = _pad_to_block_multiple(
+                downsample_420(_pad_even(ycc[..., 1]))
+            )
+            planes["cr"] = _pad_to_block_multiple(
+                downsample_420(_pad_even(ycc[..., 2]))
+            )
+        else:
+            planes["y"] = _pad_to_block_multiple(image)
+        symbols_per_plane = {
+            name: _code_plane(plane, self.qtable)
+            for name, plane in planes.items()
+        }
+        all_symbols = [s for syms in symbols_per_plane.values() for s in syms]
+        codec = HuffmanCodec.from_symbols(all_symbols)
+        plane_bits = {
+            name: codec.encode(symbols)
+            for name, symbols in symbols_per_plane.items()
+        }
+        counts = {
+            name: (plane.shape[0] // BLOCK) * (plane.shape[1] // BLOCK)
+            for name, plane in planes.items()
+        }
+        return EncodedImage(
+            height=height,
+            width=width,
+            quality=self.quality,
+            color=color,
+            plane_bits=plane_bits,
+            plane_block_counts=counts,
+            codec=codec,
+        )
+
+    def decode(self, encoded: EncodedImage) -> np.ndarray:
+        if encoded.codec is None:
+            raise ValueError("encoded image carries no symbol codec")
+        qtable = scale_qtable(JPEG_LUMA_QTABLE, encoded.quality)
+        padded_h = encoded.height + (-encoded.height) % BLOCK
+        padded_w = encoded.width + (-encoded.width) % BLOCK
+        luma_symbols = encoded.codec.decode(encoded.plane_bits["y"])
+        luma = _decode_plane(luma_symbols, padded_h, padded_w, qtable)
+        luma = luma[: encoded.height, : encoded.width]
+        if not encoded.color:
+            return luma
+        ch = (encoded.height + 1) // 2
+        cw = (encoded.width + 1) // 2
+        chroma_h = ch + (-ch) % BLOCK
+        chroma_w = cw + (-cw) % BLOCK
+        chroma = {}
+        for name in ("cb", "cr"):
+            symbols = encoded.codec.decode(encoded.plane_bits[name])
+            plane = _decode_plane(symbols, chroma_h, chroma_w, qtable)
+            chroma[name] = upsample_420(plane[:ch, :cw])[
+                : encoded.height, : encoded.width
+            ]
+        ycc = np.stack([luma, chroma["cb"], chroma["cr"]], axis=-1)
+        return ycbcr_to_rgb(ycc)
+
+
+def _pad_even(plane: np.ndarray) -> np.ndarray:
+    height, width = plane.shape
+    return np.pad(
+        plane, ((0, height % 2), (0, width % 2)), mode="edge"
+    )
+
+
+def image_psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """PSNR in dB between two images of equal shape."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    mse = np.mean((original - reconstructed) ** 2)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)
+
+
+def synthetic_image(height: int = 64, width: int = 64, color: bool = False,
+                    seed: int = 3) -> np.ndarray:
+    """A deterministic gradient-plus-texture test image."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    base = (ys * 2 + xs * 3) % 200 + rng.integers(0, 32, (height, width))
+    grey = np.clip(base, 0, 255).astype(np.uint8)
+    if not color:
+        return grey
+    red = grey
+    green = np.clip(255 - base, 0, 255).astype(np.uint8)
+    blue = np.clip((xs * 4) % 256 + rng.integers(0, 16, (height, width)), 0, 255)
+    return np.stack([red, green, blue.astype(np.uint8)], axis=-1)

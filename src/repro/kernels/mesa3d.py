@@ -1,0 +1,170 @@
+"""Mesa-like 3D pipeline kernels (the MPEG-4 still-image / 3D profile).
+
+The paper's mesa benchmark (OpenGL software rendering) is *not*
+vectorized — their emulation library lacked FP µ-SIMD — so these kernels
+contribute floating-point and integer work to the traces under both ISAs.
+The implementation is a miniature fixed-function pipeline: model-view
+transform, perspective divide + viewport mapping, and z-buffered
+flat-shaded triangle rasterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A pipeline vertex in homogeneous coordinates with an RGB colour."""
+
+    position: tuple[float, float, float, float]
+    color: tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+
+def look_at(eye, center, up) -> np.ndarray:
+    """Right-handed look-at view matrix."""
+    eye = np.asarray(eye, dtype=np.float64)
+    center = np.asarray(center, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    forward = center - eye
+    forward /= np.linalg.norm(forward)
+    side = np.cross(forward, up)
+    side /= np.linalg.norm(side)
+    true_up = np.cross(side, forward)
+    view = np.eye(4)
+    view[0, :3] = side
+    view[1, :3] = true_up
+    view[2, :3] = -forward
+    view[:3, 3] = -view[:3, :3] @ eye
+    return view
+
+
+def perspective(fov_y_deg: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """OpenGL-style perspective projection matrix."""
+    if near <= 0 or far <= near:
+        raise ValueError("require 0 < near < far")
+    f = 1.0 / np.tan(np.radians(fov_y_deg) / 2.0)
+    proj = np.zeros((4, 4))
+    proj[0, 0] = f / aspect
+    proj[1, 1] = f
+    proj[2, 2] = (far + near) / (near - far)
+    proj[2, 3] = 2 * far * near / (near - far)
+    proj[3, 2] = -1.0
+    return proj
+
+
+def transform_vertices(vertices: list[Vertex], matrix: np.ndarray) -> list[Vertex]:
+    """Apply a 4x4 transform to every vertex (the FP-heavy geometry stage)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (4, 4):
+        raise ValueError("expected a 4x4 matrix")
+    out = []
+    for vertex in vertices:
+        pos = matrix @ np.asarray(vertex.position, dtype=np.float64)
+        out.append(Vertex(tuple(pos), vertex.color))
+    return out
+
+
+def perspective_divide(
+    vertices: list[Vertex], width: int, height: int
+) -> list[tuple[float, float, float, tuple[float, float, float]]]:
+    """Clip-space -> screen-space: divide by w and map to the viewport.
+
+    Vertices behind the eye (w <= 0) are dropped (cheap near-plane clip).
+    Returns ``(x, y, depth, color)`` tuples.
+    """
+    screen = []
+    for vertex in vertices:
+        x, y, z, w = vertex.position
+        if w <= 1e-9:
+            continue
+        ndc_x, ndc_y, ndc_z = x / w, y / w, z / w
+        screen.append(
+            (
+                (ndc_x + 1.0) * 0.5 * (width - 1),
+                (1.0 - ndc_y) * 0.5 * (height - 1),
+                ndc_z,
+                vertex.color,
+            )
+        )
+    return screen
+
+
+def rasterize_triangle(
+    framebuffer: np.ndarray,
+    zbuffer: np.ndarray,
+    p0, p1, p2,
+) -> int:
+    """Z-buffered flat-shaded rasterization via edge functions.
+
+    ``p*`` are ``(x, y, depth, color)`` screen-space tuples; the triangle
+    colour is the mean of the vertex colours.  Returns the number of
+    pixels written (useful for workload accounting).
+    """
+    height, width = zbuffer.shape
+    if framebuffer.shape[:2] != (height, width):
+        raise ValueError("framebuffer and zbuffer sizes differ")
+    x0, y0, z0, c0 = p0
+    x1, y1, z1, c1 = p1
+    x2, y2, z2, c2 = p2
+    area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+    if abs(area) < 1e-12:
+        return 0
+    color = np.clip(
+        (np.asarray(c0) + np.asarray(c1) + np.asarray(c2)) / 3.0, 0.0, 1.0
+    )
+    rgb = (color * 255).astype(np.uint8)
+    min_x = max(int(np.floor(min(x0, x1, x2))), 0)
+    max_x = min(int(np.ceil(max(x0, x1, x2))), width - 1)
+    min_y = max(int(np.floor(min(y0, y1, y2))), 0)
+    max_y = min(int(np.ceil(max(y0, y1, y2))), height - 1)
+    written = 0
+    for py in range(min_y, max_y + 1):
+        for px in range(min_x, max_x + 1):
+            cx, cy = px + 0.5, py + 0.5
+            w0 = (x1 - x0) * (cy - y0) - (cx - x0) * (y1 - y0)
+            w1 = (x2 - x1) * (cy - y1) - (cx - x1) * (y2 - y1)
+            w2 = (x0 - x2) * (cy - y2) - (cx - x2) * (y0 - y2)
+            if area > 0:
+                inside = w0 >= 0 and w1 >= 0 and w2 >= 0
+            else:
+                inside = w0 <= 0 and w1 <= 0 and w2 <= 0
+            if not inside:
+                continue
+            # Barycentric depth interpolation.
+            b1 = w2 / area if area > 0 else w2 / area
+            b2 = w0 / area
+            b0 = 1.0 - b1 - b2
+            depth = b0 * z0 + b1 * z1 + b2 * z2
+            if depth < zbuffer[py, px]:
+                zbuffer[py, px] = depth
+                framebuffer[py, px] = rgb
+                written += 1
+    return written
+
+
+def render_mesh(
+    vertices: list[Vertex],
+    triangles: list[tuple[int, int, int]],
+    matrix: np.ndarray,
+    width: int = 64,
+    height: int = 64,
+) -> tuple[np.ndarray, int]:
+    """Run the full mini-pipeline over an indexed mesh.
+
+    Returns ``(framebuffer, pixels_written)``.
+    """
+    framebuffer = np.zeros((height, width, 3), dtype=np.uint8)
+    zbuffer = np.full((height, width), np.inf)
+    transformed = transform_vertices(vertices, matrix)
+    screen = perspective_divide(transformed, width, height)
+    written = 0
+    for i0, i1, i2 in triangles:
+        if max(i0, i1, i2) >= len(screen):
+            continue  # vertex clipped away
+        written += rasterize_triangle(
+            framebuffer, zbuffer, screen[i0], screen[i1], screen[i2]
+        )
+    return framebuffer, written

@@ -1,0 +1,158 @@
+"""A miniature MPEG-2-style video codec built from the kernel substrate.
+
+Intra frames are JPEG-like (DCT + quantization + zigzag/RLE); inter frames
+add block-matching motion estimation and residual coding.  This is the
+end-to-end pipeline the `mpeg2enc`/`mpeg2dec` workload programs model and
+the example applications run on synthetic video.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.blockmatch import MACROBLOCK, full_search, motion_compensate
+from repro.kernels.dct import BLOCK, blocks_of, fdct_fixed, idct_fixed
+from repro.kernels.jpeg import inverse_zigzag, rle_decode, rle_encode, zigzag
+from repro.kernels.quant import JPEG_LUMA_QTABLE, dequantize, quantize, scale_qtable
+
+
+@dataclass
+class EncodedFrame:
+    """One encoded frame: coded blocks plus (for P frames) motion vectors."""
+
+    frame_type: str                       # "I" or "P"
+    height: int
+    width: int
+    blocks: list[list[tuple[int, int]]]   # RLE pairs per 8x8 block, raster order
+    motion_vectors: dict[tuple[int, int], tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def coded_block_count(self) -> int:
+        return len(self.blocks)
+
+
+class Mpeg2Encoder:
+    """Encode a sequence of greyscale frames with an IPPP... GOP pattern."""
+
+    def __init__(self, quality: int = 50, gop: int = 4, search_range: int = 4):
+        if gop < 1:
+            raise ValueError("GOP length must be >= 1")
+        self.qtable = scale_qtable(JPEG_LUMA_QTABLE, quality)
+        self.gop = gop
+        self.search_range = search_range
+        self._reference: np.ndarray | None = None
+        self._frame_index = 0
+
+    def _code_plane(self, plane: np.ndarray) -> list[list[tuple[int, int]]]:
+        coded = []
+        for __, __, block in blocks_of(plane):
+            coeffs = fdct_fixed(block.astype(np.int64) - 128)
+            levels = quantize(coeffs, self.qtable)
+            coded.append(rle_encode(zigzag(levels)))
+        return coded
+
+    def _decode_plane(self, coded, height: int, width: int) -> np.ndarray:
+        plane = np.zeros((height, width), dtype=np.int64)
+        index = 0
+        for y in range(0, height, BLOCK):
+            for x in range(0, width, BLOCK):
+                levels = inverse_zigzag(rle_decode(coded[index]))
+                coeffs = dequantize(levels, self.qtable)
+                plane[y : y + BLOCK, x : x + BLOCK] = idct_fixed(coeffs) + 128
+                index += 1
+        return np.clip(plane, -255, 510)
+
+    def encode_frame(self, frame: np.ndarray) -> EncodedFrame:
+        """Encode the next frame; I/P decision follows the GOP pattern."""
+        frame = np.asarray(frame, dtype=np.int64)
+        height, width = frame.shape
+        if height % MACROBLOCK or width % MACROBLOCK:
+            raise ValueError("frame dimensions must be multiples of 16")
+        is_intra = self._frame_index % self.gop == 0 or self._reference is None
+        self._frame_index += 1
+        if is_intra:
+            coded = self._code_plane(frame)
+            self._reference = self._decode_plane(coded, height, width)
+            self._reference = np.clip(self._reference, 0, 255)
+            return EncodedFrame("I", height, width, coded)
+        # P frame: motion estimate against the reconstructed reference.
+        vectors = {}
+        for by in range(0, height, MACROBLOCK):
+            for bx in range(0, width, MACROBLOCK):
+                (dy, dx), __ = full_search(
+                    frame, self._reference, by, bx, self.search_range
+                )
+                vectors[(by, bx)] = (dy, dx)
+        predicted = motion_compensate(self._reference, vectors)
+        residual = frame - predicted
+        coded = self._code_plane(residual + 128)
+        decoded_residual = self._decode_plane(coded, height, width) - 128
+        self._reference = np.clip(predicted + decoded_residual, 0, 255)
+        return EncodedFrame("P", height, width, coded, vectors)
+
+
+class Mpeg2Decoder:
+    """Decode the stream produced by :class:`Mpeg2Encoder`."""
+
+    def __init__(self, quality: int = 50):
+        self.qtable = scale_qtable(JPEG_LUMA_QTABLE, quality)
+        self._reference: np.ndarray | None = None
+
+    def _decode_plane(self, coded, height: int, width: int) -> np.ndarray:
+        plane = np.zeros((height, width), dtype=np.int64)
+        index = 0
+        for y in range(0, height, BLOCK):
+            for x in range(0, width, BLOCK):
+                levels = inverse_zigzag(rle_decode(coded[index]))
+                coeffs = dequantize(levels, self.qtable)
+                plane[y : y + BLOCK, x : x + BLOCK] = idct_fixed(coeffs) + 128
+                index += 1
+        return plane
+
+    def decode_frame(self, encoded: EncodedFrame) -> np.ndarray:
+        if encoded.frame_type == "I":
+            frame = np.clip(
+                self._decode_plane(encoded.blocks, encoded.height, encoded.width),
+                0,
+                255,
+            )
+            self._reference = frame
+            return frame.astype(np.uint8)
+        if self._reference is None:
+            raise ValueError("P frame before any I frame")
+        predicted = motion_compensate(self._reference, encoded.motion_vectors)
+        residual = (
+            self._decode_plane(encoded.blocks, encoded.height, encoded.width) - 128
+        )
+        frame = np.clip(predicted + residual, 0, 255)
+        self._reference = frame
+        return frame.astype(np.uint8)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two 8-bit frames (dB)."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    mse = np.mean((original - reconstructed) ** 2)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)
+
+
+def synthetic_video(
+    frames: int, height: int = 32, width: int = 32, seed: int = 7
+) -> list[np.ndarray]:
+    """A moving-gradient-plus-texture test sequence (deterministic)."""
+    rng = np.random.default_rng(seed)
+    texture = rng.integers(0, 48, size=(height, width))
+    ys, xs = np.mgrid[0:height, 0:width]
+    video = []
+    for t in range(frames):
+        gradient = (ys * 3 + xs * 2 + t * 5) % 160
+        frame = np.clip(gradient + np.roll(texture, t, axis=1), 0, 255)
+        video.append(frame.astype(np.uint8))
+    return video

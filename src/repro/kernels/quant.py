@@ -1,0 +1,103 @@
+"""Coefficient quantization kernels (JPEG / MPEG-2).
+
+Quantization divides DCT coefficients by a perceptual step matrix and is
+implemented in codecs as fixed-point multiply + shift with saturating
+narrowing — the pattern that maps onto ``pmulhw``/``packsswb``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.datatypes import ElementType as ET, pack_lanes, saturate, unpack_lanes
+from repro.isa.semantics import execute_mmx
+
+#: The JPEG Annex K luminance quantization matrix (quality 50 baseline).
+JPEG_LUMA_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def scale_qtable(qtable: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base quantization table to a JPEG quality factor (1..100)."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = (np.asarray(qtable, dtype=np.int64) * scale + 50) // 100
+    return np.clip(scaled, 1, 255)
+
+
+def quantize(coeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Quantize DCT coefficients with round-half-away-from-zero."""
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    qtable = np.asarray(qtable, dtype=np.int64)
+    if coeffs.shape != qtable.shape:
+        raise ValueError("coefficient and table shapes differ")
+    sign = np.sign(coeffs)
+    return sign * ((np.abs(coeffs) + qtable // 2) // qtable)
+
+
+def dequantize(levels: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Reconstruct coefficients from quantized levels."""
+    levels = np.asarray(levels, dtype=np.int64)
+    qtable = np.asarray(qtable, dtype=np.int64)
+    if levels.shape != qtable.shape:
+        raise ValueError("level and table shapes differ")
+    return levels * qtable
+
+
+#: Fractional bits of the packed reciprocal table.
+RECIP_BITS = 15
+
+
+def reciprocal_table(qtable: np.ndarray) -> np.ndarray:
+    """Fixed-point reciprocals 2^15/q used by the packed quantizer."""
+    qtable = np.asarray(qtable, dtype=np.int64)
+    return (1 << RECIP_BITS) // qtable
+
+
+def quantize_packed(coeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Quantize one 8x8 block through packed ``pmulhw`` semantics.
+
+    Codecs replace the per-coefficient division by a multiply with a
+    fixed-point reciprocal followed by a shift; here each row of four
+    16-bit coefficients is processed through the executable MMX semantics
+    (``pmulhw`` keeps the high 16 bits, i.e. a built-in >>16).
+
+    The result is a truncating quantizer: it differs from
+    :func:`quantize` by at most one level, which is the same accuracy
+    trade-off production MMX quantizers make.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    recip = reciprocal_table(qtable) * 2  # pre-shift: pmulhw drops 16 bits
+    out = np.zeros_like(coeffs)
+    height, width = coeffs.shape
+    if width % 4:
+        raise ValueError("row length must be a multiple of 4")
+    for y in range(height):
+        for x in range(0, width, 4):
+            quad = [int(v) for v in coeffs[y, x : x + 4]]
+            signs = [1 if v >= 0 else -1 for v in quad]
+            mags = [saturate(abs(v), ET.INT16) for v in quad]
+            rquad = [int(v) for v in recip[y, x : x + 4]]
+            packed = execute_mmx(
+                "pmulhw",
+                pack_lanes(mags, ET.INT16),
+                pack_lanes(rquad, ET.INT16),
+            )
+            lanes = unpack_lanes(packed, ET.INT16)
+            out[y, x : x + 4] = [s * q for s, q in zip(signs, lanes)]
+    return out

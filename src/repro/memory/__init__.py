@@ -1,0 +1,36 @@
+"""Memory-hierarchy substrate (paper section 3 and 5.4).
+
+Timing-level models of the paper's on-chip cache hierarchy and Direct
+Rambus main memory:
+
+* L1 data cache: 32 KB, direct-mapped, write-through, 32-byte lines,
+  8 banks, 8 MSHRs, 8-deep coalescing write buffer with selective flush;
+* instruction cache: 64 KB, 2-way, 32-byte lines, 4 banks;
+* L2: 1 MB, 2-way, write-back, 128-byte lines, 12-cycle latency;
+* DRDRAM: 3.2 GB/s channel (4 bytes per 800 MHz CPU cycle);
+* two organizations: the conventional 4-port L1 hierarchy and the
+  *decoupled* hierarchy where stream (vector) memory ports bypass L1 and
+  talk straight to the banked L2 (exclusive-bit coherence).
+
+Threads share all levels; per-thread physical page colouring models the
+OS page mapper so different contexts collide realistically in the caches.
+"""
+
+from repro.memory.interface import AccessType, MemoryStats, MemorySystem
+from repro.memory.perfect import PerfectMemory
+from repro.memory.hierarchy import ConventionalHierarchy
+from repro.memory.decoupled import DecoupledHierarchy
+from repro.memory.cache import CacheConfig, L1_DATA, L1_INST, L2_UNIFIED
+
+__all__ = [
+    "AccessType",
+    "MemoryStats",
+    "MemorySystem",
+    "PerfectMemory",
+    "ConventionalHierarchy",
+    "DecoupledHierarchy",
+    "CacheConfig",
+    "L1_DATA",
+    "L1_INST",
+    "L2_UNIFIED",
+]

@@ -1,0 +1,44 @@
+"""Direct Rambus main-memory channel model.
+
+The paper models a 128 MB DRDRAM system: a controller driving 8 Rambus
+devices over a 128-bit, bi-directional 200 MHz bus — 3.2 GB/s, which at
+the 800 MHz CPU clock is 4 bytes per cycle.  We model the channel as a
+latency + occupancy pipe: each line fill pays the device access latency
+and holds the channel for ``line_bytes / 4`` cycles, so concurrent misses
+queue on bandwidth exactly as the real part would.
+"""
+
+from __future__ import annotations
+
+#: Device access latency in CPU cycles (row activate + CAS at 800 MHz).
+DEFAULT_LATENCY = 60
+
+#: Channel throughput: bytes per CPU cycle (3.2 GB/s at 800 MHz).
+BYTES_PER_CYCLE = 4
+
+
+class RambusChannel:
+    """A single DRDRAM channel with latency and bandwidth occupancy."""
+
+    def __init__(self, latency: int = DEFAULT_LATENCY,
+                 bytes_per_cycle: int = BYTES_PER_CYCLE):
+        if latency < 1 or bytes_per_cycle < 1:
+            raise ValueError("latency and bandwidth must be positive")
+        self.latency = latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self._channel_free = 0
+        self.accesses = 0
+        self.busy_cycles = 0
+
+    def access(self, now: int, n_bytes: int) -> int:
+        """Transfer ``n_bytes``; returns the completion cycle."""
+        start = max(now, self._channel_free)
+        transfer = max(1, n_bytes // self.bytes_per_cycle)
+        self._channel_free = start + transfer
+        self.accesses += 1
+        self.busy_cycles += transfer
+        return start + self.latency + transfer
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of cycles the channel was transferring data."""
+        return self.busy_cycles / elapsed if elapsed else 0.0

@@ -1,0 +1,129 @@
+"""Shared types and the abstract interface of the memory models.
+
+The SMT core calls the memory system at issue time of each memory
+operation and at fetch time for instruction groups; the system returns
+the cycle the access completes.  All models are *timestamp-based*: ports,
+banks and channels are modeled as next-free-cycle counters, which lets a
+cycle-level core interact with the hierarchy without event queues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    """How an access enters the hierarchy (drives port routing)."""
+
+    SCALAR_LOAD = "scalar_load"
+    SCALAR_STORE = "scalar_store"
+    VECTOR_LOAD = "vector_load"       # MOM stream element loads
+    VECTOR_STORE = "vector_store"
+    INST_FETCH = "inst_fetch"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/latency accounting for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    latency_sum: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate statistics a memory system reports after a run."""
+
+    icache: CacheStats = field(default_factory=CacheStats)
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    dram_accesses: int = 0
+    bank_conflict_cycles: int = 0
+    write_buffer_stalls: int = 0
+    coherence_invalidations: int = 0
+
+
+class MemorySystem:
+    """Interface the SMT core programs against."""
+
+    def __init__(self):
+        self.stats = MemoryStats()
+
+    def access(
+        self, thread: int, addr: int, kind: AccessType, now: int
+    ) -> int:
+        """Perform one data access; returns its completion cycle (> now)."""
+        raise NotImplementedError
+
+    def access_stream(
+        self,
+        thread: int,
+        base: int,
+        stride: int,
+        count: int,
+        kind: AccessType,
+        now: int,
+    ) -> int:
+        """Perform a MOM stream access of ``count`` elements.
+
+        Default implementation issues elements back to back through the
+        vector path, as many per cycle as the ports allow, and completes
+        when the last element returns.
+        """
+        done = now + 1
+        for i in range(count):
+            element_done = self.access(thread, base + i * stride, kind, now)
+            if element_done > done:
+                done = element_done
+        return done
+
+    def fetch(self, thread: int, pc: int, now: int) -> int:
+        """Instruction-cache access for a fetch group; completion cycle."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        """Zero all counters (warmup boundary); tag state is preserved."""
+        self.stats = MemoryStats()
+
+
+#: Per-thread physical page colouring: a multiplicative hash of the
+#: virtual page number and thread id models the OS page mapper, so that
+#: identical virtual layouts of different contexts collide realistically
+#: (not pathologically) in physically-indexed caches.
+PAGE_BITS = 12
+_PFN_SPACE_BITS = 22          # 16 GB of physical address space (keeps the
+                              # hash collision rate between pages negligible)
+
+
+def physical_address(thread: int, addr: int) -> int:
+    """Translate a (thread, virtual address) pair to a physical address.
+
+    A plain multiplicative hash preserves the trailing zeros of
+    power-of-two region bases and maps every region onto the same page
+    colour; the splitmix64 finalizer below avalanches fully instead.
+    """
+    offset = addr & ((1 << PAGE_BITS) - 1)
+    vpn = addr >> PAGE_BITS
+    mask64 = (1 << 64) - 1
+    # splitmix64 finalizer: full avalanche, so low pfn bits (the cache
+    # page colour) are well mixed even for tiny or power-of-two vpns.
+    z = (vpn * 0x9E3779B97F4A7C15 + thread * 0x2545F4914F6CDD1D) & mask64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask64
+    z ^= z >> 31
+    pfn = z & ((1 << _PFN_SPACE_BITS) - 1)
+    return (pfn << PAGE_BITS) | offset

@@ -1,0 +1,54 @@
+"""Miss-status holding registers.
+
+MSHRs bound the number of outstanding misses a cache can sustain.
+Secondary misses to an already-pending line merge into the existing
+entry; when all entries are busy a new primary miss must wait for the
+earliest outstanding fill to complete.
+"""
+
+from __future__ import annotations
+
+
+class MshrFile:
+    """Timestamp-based MSHR file.
+
+    Entries are ``line_addr -> fill_complete_cycle``.  Entries whose fill
+    time has passed are free; expiry is lazy (cleaned on allocation).
+    """
+
+    def __init__(self, n_entries: int):
+        if n_entries < 1:
+            raise ValueError("need at least one MSHR")
+        self.n_entries = n_entries
+        self._pending: dict[int, int] = {}
+
+    def _reap(self, now: int) -> None:
+        if len(self._pending) >= self.n_entries:
+            expired = [a for a, t in self._pending.items() if t <= now]
+            for addr in expired:
+                del self._pending[addr]
+
+    def pending_fill(self, line_addr: int, now: int) -> int | None:
+        """Fill-completion cycle if this line already has a miss in flight."""
+        fill = self._pending.get(line_addr)
+        if fill is not None and fill > now:
+            return fill
+        return None
+
+    def earliest_free(self, now: int) -> int:
+        """First cycle at which an entry can be allocated."""
+        self._reap(now)
+        if len(self._pending) < self.n_entries:
+            return now
+        return min(self._pending.values())
+
+    def allocate(self, line_addr: int, fill_cycle: int, now: int) -> None:
+        """Track a new outstanding miss (caller ensured a free entry)."""
+        self._reap(now)
+        if len(self._pending) >= self.n_entries:
+            raise RuntimeError("MSHR allocation with no free entry")
+        self._pending[line_addr] = fill_cycle
+
+    def outstanding(self, now: int) -> int:
+        """Number of misses still in flight at ``now``."""
+        return sum(1 for t in self._pending.values() if t > now)

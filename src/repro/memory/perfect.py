@@ -1,0 +1,43 @@
+"""Idealistic memory: every access hits in one cycle (paper section 5.2).
+
+Used for the "perfect cache" experiments (figure 4) — neither cache
+misses nor bank conflicts.
+"""
+
+from __future__ import annotations
+
+from repro.memory.interface import AccessType, MemorySystem
+
+
+class PerfectMemory(MemorySystem):
+    """All accesses complete in a single cycle; stats report 100 % hits."""
+
+    def access(self, thread: int, addr: int, kind: AccessType, now: int) -> int:
+        self.stats.l1.accesses += 1
+        self.stats.l1.hits += 1
+        self.stats.l1.latency_sum += 1
+        return now + 1
+
+    #: Memory ports (element throughput per cycle for stream transfers).
+    PORTS = 4
+
+    def access_stream(
+        self,
+        thread: int,
+        base: int,
+        stride: int,
+        count: int,
+        kind: AccessType,
+        now: int,
+    ) -> int:
+        self.stats.l1.accesses += count
+        self.stats.l1.hits += count
+        self.stats.l1.latency_sum += count
+        # No misses or bank conflicts, but a 16-element stream still moves
+        # through the memory ports at port rate.
+        return now + max(1, -(-count // self.PORTS))
+
+    def fetch(self, thread: int, pc: int, now: int) -> int:
+        self.stats.icache.accesses += 1
+        self.stats.icache.hits += 1
+        return now + 1

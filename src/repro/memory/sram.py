@@ -1,0 +1,83 @@
+"""Tag arrays: set-associative lookup with LRU replacement.
+
+A minimal, fast tag store used by every cache level.  Data values are not
+stored (the simulator is timing-only); a line is present or absent, and
+write-back caches track a dirty bit per line.
+"""
+
+from __future__ import annotations
+
+
+class TagArray:
+    """Set-associative tag array with true-LRU replacement.
+
+    Each set is an ordered list of (tag, dirty) pairs, most recently used
+    last.  Associativity 1 gives a direct-mapped cache.
+    """
+
+    def __init__(self, n_sets: int, assoc: int):
+        if n_sets < 1 or assoc < 1:
+            raise ValueError("need at least one set and one way")
+        if n_sets & (n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self._sets: list[list[list]] = [[] for __ in range(n_sets)]
+
+    def _set_of(self, line_addr: int) -> list[list]:
+        return self._sets[line_addr & (self.n_sets - 1)]
+
+    @staticmethod
+    def _tag_of(line_addr: int) -> int:
+        return line_addr
+
+    def lookup(self, line_addr: int, update_lru: bool = True) -> bool:
+        """True if the line is present; touches LRU on hit by default."""
+        entries = self._set_of(line_addr)
+        tag = self._tag_of(line_addr)
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                if update_lru and i != len(entries) - 1:
+                    entries.append(entries.pop(i))
+                return True
+        return False
+
+    def fill(self, line_addr: int, dirty: bool = False) -> tuple[int, bool] | None:
+        """Insert a line; returns the evicted ``(line_addr, dirty)`` if any."""
+        entries = self._set_of(line_addr)
+        tag = self._tag_of(line_addr)
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                entry[1] = entry[1] or dirty
+                entries.append(entries.pop(i))
+                return None
+        victim = None
+        if len(entries) >= self.assoc:
+            old = entries.pop(0)
+            victim = (old[0], old[1])
+        entries.append([tag, dirty])
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit if present; returns presence."""
+        entries = self._set_of(line_addr)
+        tag = self._tag_of(line_addr)
+        for entry in entries:
+            if entry[0] == tag:
+                entry[1] = True
+                return True
+        return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present; returns whether it was present."""
+        entries = self._set_of(line_addr)
+        tag = self._tag_of(line_addr)
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                entries.pop(i)
+                return True
+        return False
+
+    def occupancy(self) -> int:
+        """Total lines currently resident (for tests/diagnostics)."""
+        return sum(len(entries) for entries in self._sets)

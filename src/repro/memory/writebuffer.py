@@ -1,0 +1,66 @@
+"""Coalescing write buffer with selective flush (paper section 3).
+
+The write-through L1 sends every store through an 8-deep coalescing write
+buffer.  Stores to a line already buffered coalesce for free; otherwise a
+slot is taken and the entry drains to L2 at the drain port's rate.  A
+load that misses L1 but hits a buffered line triggers a *selective flush*:
+only that entry must drain before the load's fill proceeds.
+"""
+
+from __future__ import annotations
+
+
+class WriteBuffer:
+    """Timestamp-based coalescing write buffer."""
+
+    def __init__(self, depth: int = 8, drain_interval: int = 4):
+        if depth < 1:
+            raise ValueError("write buffer needs at least one entry")
+        self.depth = depth
+        self.drain_interval = drain_interval
+        #: line_addr -> cycle the entry finishes draining to L2.
+        self._entries: dict[int, int] = {}
+        self._last_drain = 0
+        self.coalesced = 0
+        self.full_stalls = 0
+
+    def _reap(self, now: int) -> None:
+        if len(self._entries) >= self.depth:
+            drained = [a for a, t in self._entries.items() if t <= now]
+            for addr in drained:
+                del self._entries[addr]
+
+    def push(self, line_addr: int, now: int) -> int:
+        """Buffer a store; returns the cycle the store is accepted.
+
+        Acceptance is immediate unless the buffer is full, in which case
+        the store waits for the earliest entry to drain.
+        """
+        if line_addr in self._entries and self._entries[line_addr] > now:
+            self.coalesced += 1
+            return now
+        self._reap(now)
+        accept = now
+        if len(self._entries) >= self.depth:
+            accept = min(self._entries.values())
+            self.full_stalls += 1
+            self._entries = {
+                a: t for a, t in self._entries.items() if t > accept
+            }
+        drain = max(accept, self._last_drain + self.drain_interval)
+        self._last_drain = drain
+        self._entries[line_addr] = drain
+        return accept
+
+    def flush_line(self, line_addr: int, now: int) -> int:
+        """Selective flush: cycle by which a buffered line has drained.
+
+        Returns ``now`` when the line is not buffered.
+        """
+        drain = self._entries.get(line_addr)
+        if drain is None or drain <= now:
+            return now
+        return drain
+
+    def occupancy(self, now: int) -> int:
+        return sum(1 for t in self._entries.values() if t > now)

@@ -1,0 +1,396 @@
+"""Low-level trace emission: instructions, registers, addresses.
+
+``TraceBuilder`` is the assembler of the trace compiler.  It hands out
+program counters, rotates destination registers while keeping realistic
+dependency chains (sources are drawn from recently-written registers),
+and lays out each program's address space:
+
+* ``code``   — instruction addresses (drives the I-cache),
+* ``stack``  — small, hot scalar data,
+* ``table``  — lookup tables with skewed reuse (entropy coding),
+* ``heap``   — occasional cold scalar references,
+* numbered kernel arrays — large buffers walked with streaming strides.
+
+All randomness is drawn from a seeded ``random.Random`` so traces are
+fully deterministic for a given (program, ISA, scale, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import LOGICAL_COUNTS, RegisterClass, make_reg
+
+#: Bytes per instruction (Alpha-style fixed 32-bit encoding).
+INSTRUCTION_BYTES = 4
+
+#: How many recently-written registers sources are drawn from.
+RECENT_WINDOW = 12
+
+#: Probability that a source is the most recent writer (dependency chain
+#: tightness); the remainder picks uniformly over the recent window.
+CHAIN_PROB = 0.40
+
+
+class AddressSpace:
+    """The data address-space layout of one workload program."""
+
+    STACK_BASE = 0x0100_0000
+    TABLE_BASE = 0x0200_0000
+    HEAP_BASE = 0x0300_0000
+    ARRAY_BASE = 0x1000_0000
+    ARRAY_SPACING = 0x0100_0000
+    HEAP_SIZE = 1 << 20
+
+    def __init__(self, rng: random.Random, scalar_working_set: int,
+                 kernel_working_set: int, arrays: int = 4,
+                 tile_bytes: int = 2048, tile_passes: int = 8):
+        self.rng = rng
+        self.stack_size = max(512, scalar_working_set // 12)
+        self.table_size = max(1 << 10, (scalar_working_set - self.stack_size) // 2)
+        self.array_size = max(8 << 10, kernel_working_set // arrays)
+        self.array_count = arrays
+        # The cold region models whole-frame streaming: sequential, never
+        # reused — the traffic that fills L2 and loads the Rambus channel.
+        self.cold_size = max(64 << 10, kernel_working_set)
+        self._cold_cursor = 0
+        if tile_bytes < 256 or tile_passes < 1:
+            raise ValueError("tile must be >= 256 bytes and passes >= 1")
+        self.tile_bytes = min(tile_bytes, self.array_size)
+        self.tile_passes = tile_passes
+        self._tile_start = [0] * arrays
+        self._tile_cursor = [0] * arrays
+        self._tile_pass = [0] * arrays
+        # Real objects sit at arbitrary offsets; staggering each region's
+        # base keeps same-colour pages from overlapping set-for-set in a
+        # direct-mapped cache.  The offsets are deterministic (not drawn
+        # per program) so successive programs scheduled onto the same
+        # hardware context reuse the same physical pages — the warm-cache
+        # behaviour long-running media streams actually exhibit; only the
+        # cold frame stream is genuinely first-touch.
+        self._stack_offset = 64 * 17
+        self._table_offset = 64 * 41
+        self._array_offsets = [
+            64 * ((11 + 23 * index) % 64) for index in range(arrays)
+        ]
+
+    def cold_addr(self, span: int) -> int:
+        """Next address of the sequential cold frame stream."""
+        base = self.ARRAY_BASE + self.array_count * self.ARRAY_SPACING
+        addr = base + self._cold_cursor
+        self._cold_cursor = (self._cold_cursor + span) % self.cold_size
+        return addr
+
+    def scalar_addr(self) -> int:
+        """A high-locality scalar data address (stack/table/heap mix).
+
+        Within each region the draw is power-law skewed toward the base:
+        real scalar traffic clusters on the top of the stack and the hot
+        head of lookup tables, not uniformly over the working set.
+        """
+        roll = self.rng.random()
+        if roll < 0.62:
+            # Stack traffic: heavily concentrated near the stack top.
+            span = self.stack_size // 8
+            offset = int(span * self.rng.random() ** 2)
+            return self.STACK_BASE + self._stack_offset + 8 * offset
+        if roll < 0.997:
+            # Table lookups: strongly skewed toward the table head.
+            span = self.table_size // 8
+            offset = int(span * self.rng.random() ** 4)
+            return self.TABLE_BASE + self._table_offset + 8 * offset
+        # Cold heap reference.
+        return self.HEAP_BASE + 8 * self.rng.randrange(self.HEAP_SIZE // 8)
+
+    def stream_addr(self, array: int, span: int) -> int:
+        """Next base address of a kernel stream walk over ``array``.
+
+        Kernels are stream-like but the *algorithm* has locality: a tile
+        of the array (a macroblock search window, a block row...) is
+        re-walked ``tile_passes`` times before the walk advances to the
+        next tile.  ``span`` is how many bytes this access consumes
+        (element stride, or stride x stream length for a MOM stream).
+        """
+        base = (
+            self.ARRAY_BASE
+            + array * self.ARRAY_SPACING
+            + self._array_offsets[array]
+        )
+        addr = base + self._tile_start[array] + self._tile_cursor[array]
+        self._tile_cursor[array] += span
+        if self._tile_cursor[array] >= self.tile_bytes:
+            self._tile_cursor[array] = 0
+            self._tile_pass[array] += 1
+            if self._tile_pass[array] >= self.tile_passes:
+                self._tile_pass[array] = 0
+                self._tile_start[array] = (
+                    self._tile_start[array] + self.tile_bytes
+                ) % self.array_size
+        return addr
+
+
+class FractionAccumulator:
+    """Emit-count helper for fractional per-element op budgets.
+
+    ``take()`` returns the integer number of ops due this element so that
+    long-run emission rates equal the fractional parameter exactly.
+    """
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+        self._acc = 0.0
+
+    def take(self) -> int:
+        self._acc += self.rate
+        due = int(self._acc)
+        self._acc -= due
+        return due
+
+
+class TraceBuilder:
+    """Emits decoded instructions with realistic registers and addresses."""
+
+    CODE_BASE = 0x0001_0000
+
+    def __init__(self, isa: str, seed: int, scalar_working_set: int = 20 << 10,
+                 kernel_working_set: int = 256 << 10,
+                 tile_bytes: int = 2048, tile_passes: int = 8):
+        if isa not in ("mmx", "mom"):
+            raise ValueError(f"unknown ISA {isa!r}")
+        self.isa = isa
+        self.rng = random.Random(seed)
+        self.space = AddressSpace(
+            self.rng, scalar_working_set, kernel_working_set,
+            tile_bytes=tile_bytes, tile_passes=tile_passes,
+        )
+        self.instructions: list[Instruction] = []
+        self._pc = self.CODE_BASE
+        self._next_reg = {rclass: 4 for rclass in RegisterClass}
+        self._recent: dict[RegisterClass, deque] = {
+            rclass: deque(maxlen=RECENT_WINDOW) for rclass in RegisterClass
+        }
+        # Seed the recent windows so early instructions have sources.
+        for rclass in RegisterClass:
+            for index in range(min(4, LOGICAL_COUNTS[rclass])):
+                self._recent[rclass].append(make_reg(rclass, index))
+
+    # ----- register selection -------------------------------------------------
+
+    def _alloc(self, rclass: RegisterClass) -> int:
+        """Rotate destination registers within the class's upper range.
+
+        Large classes keep their first four registers as stable "live"
+        values (loop-invariant bases the recent-window seeds provide);
+        small classes (the two MOM accumulators) rotate over everything.
+        """
+        count = LOGICAL_COUNTS[rclass]
+        low = 4 if count > 8 else 0
+        index = self._next_reg[rclass]
+        if index < low or index >= count:
+            index = low
+        self._next_reg[rclass] = low + (index + 1 - low) % (count - low)
+        reg = make_reg(rclass, index)
+        self._recent[rclass].append(reg)
+        return reg
+
+    def _pick_src(self, rclass: RegisterClass) -> int:
+        recent = self._recent[rclass]
+        if self.rng.random() < CHAIN_PROB:
+            return recent[-1]
+        return recent[self.rng.randrange(len(recent))]
+
+    def _srcs(self, rclass: RegisterClass, count: int) -> tuple[int, ...]:
+        return tuple(self._pick_src(rclass) for _ in range(count))
+
+    # ----- emission primitives --------------------------------------------------
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def _next_pc(self, pc: int | None = None) -> int:
+        """Use an explicit static PC when given, else auto-increment.
+
+        Region emitters allocate static code blocks with
+        :meth:`alloc_code` and replay their PCs across loop iterations so
+        the I-cache and branch predictor see realistic re-execution.
+        """
+        if pc is not None:
+            return pc
+        pc = self._pc
+        self._pc += INSTRUCTION_BYTES
+        return pc
+
+    def alloc_code(self, n_instructions: int) -> int:
+        """Reserve a static code block; returns its base PC."""
+        base = self._pc
+        self._pc += n_instructions * INSTRUCTION_BYTES
+        return base
+
+    def int_op(self, mul: bool = False, n_srcs: int = 2, pc: int | None = None) -> Instruction:
+        op = Opcode.INT_MUL if mul else Opcode.INT_ALU
+        return self._emit(
+            Instruction(
+                op,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.INT),
+                srcs=self._srcs(RegisterClass.INT, n_srcs),
+            )
+        )
+
+    def fp_op(self, mul: bool = False, div: bool = False, pc: int | None = None) -> Instruction:
+        if div:
+            op = Opcode.FP_DIV
+        else:
+            op = Opcode.FP_MUL if mul else Opcode.FP_ADD
+        return self._emit(
+            Instruction(
+                op,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.FP),
+                srcs=self._srcs(RegisterClass.FP, 2),
+            )
+        )
+
+    def branch(self, taken: bool, target: int | None = None, pc: int | None = None) -> Instruction:
+        pc = self._next_pc(pc)
+        if target is None:
+            # Backward loop branch by default.
+            target = max(self.CODE_BASE, pc - 32 * INSTRUCTION_BYTES)
+        return self._emit(
+            Instruction(
+                Opcode.BRANCH,
+                pc=pc,
+                srcs=self._srcs(RegisterClass.INT, 1),
+                taken=taken,
+                target=target,
+            )
+        )
+
+    def load(self, addr: int, size: int = 8, pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.LOAD,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.INT),
+                srcs=self._srcs(RegisterClass.INT, 1),
+                mem_addr=addr,
+                mem_size=size,
+            )
+        )
+
+    def store(self, addr: int, size: int = 8, pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.STORE,
+                pc=self._next_pc(pc),
+                srcs=self._srcs(RegisterClass.INT, 2),
+                mem_addr=addr,
+                mem_size=size,
+            )
+        )
+
+    def mmx_op(self, mul: bool = False, pc: int | None = None) -> Instruction:
+        op = Opcode.MMX_MUL if mul else Opcode.MMX_ALU
+        return self._emit(
+            Instruction(
+                op,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.MMX),
+                srcs=self._srcs(RegisterClass.MMX, 2),
+            )
+        )
+
+    def mmx_load(self, addr: int, pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.MMX_LOAD,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.MMX),
+                srcs=self._srcs(RegisterClass.INT, 1),
+                mem_addr=addr,
+            )
+        )
+
+    def mmx_store(self, addr: int, pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.MMX_STORE,
+                pc=self._next_pc(pc),
+                srcs=(
+                    self._pick_src(RegisterClass.MMX),
+                    self._pick_src(RegisterClass.INT),
+                ),
+                mem_addr=addr,
+            )
+        )
+
+    def mom_op(
+        self, stream_length: int, mul: bool = False, reduce: bool = False,
+        pc: int | None = None,
+    ) -> Instruction:
+        if reduce:
+            # Accumulation is read-modify-write: the accumulator is both
+            # destination and source, so back-to-back reductions into the
+            # same accumulator serialize (RAW dependence).
+            op = Opcode.MOM_REDUCE
+            dst = self._alloc(RegisterClass.ACC)
+            srcs = self._srcs(RegisterClass.STREAM, 1) + (dst,)
+        else:
+            op = Opcode.MOM_MUL if mul else Opcode.MOM_ALU
+            dst = self._alloc(RegisterClass.STREAM)
+            srcs = self._srcs(RegisterClass.STREAM, 2)
+        return self._emit(
+            Instruction(
+                op,
+                pc=self._next_pc(pc),
+                dst=dst,
+                srcs=srcs,
+                stream_length=stream_length,
+            )
+        )
+
+    def mom_load(self, addr: int, stream_length: int, stride: int,
+                 pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.MOM_LOAD,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.STREAM),
+                srcs=self._srcs(RegisterClass.INT, 1),
+                mem_addr=addr,
+                stream_length=stream_length,
+                stride=stride,
+            )
+        )
+
+    def mom_store(self, addr: int, stream_length: int, stride: int,
+                  pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.MOM_STORE,
+                pc=self._next_pc(pc),
+                srcs=(
+                    self._pick_src(RegisterClass.STREAM),
+                    self._pick_src(RegisterClass.INT),
+                ),
+                mem_addr=addr,
+                stream_length=stream_length,
+                stride=stride,
+            )
+        )
+
+    def setslr(self, pc: int | None = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.MOM_SETSLR,
+                pc=self._next_pc(pc),
+                dst=self._alloc(RegisterClass.INT),
+                srcs=self._srcs(RegisterClass.INT, 1),
+            )
+        )

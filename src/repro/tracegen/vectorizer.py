@@ -1,0 +1,266 @@
+"""Kernel-region lowering: the same loop nest under MMX or MOM.
+
+A vectorizable media loop (SAD search, DCT row pass, FIR correlation...)
+is described by the per-element costs in its program's
+:class:`~repro.tracegen.mixes.ProgramMix`.  This module lowers a burst of
+kernel work to either ISA:
+
+* **MMX** — a software-pipelined loop processing one 64-bit word per
+  iteration: packed loads (including the redundant re-loads sliding-window
+  code needs), core packed arithmetic, format-conversion/reduction
+  overhead ops, packed stores, and the loop-control/addressing integer
+  instructions with a backward branch.
+* **MOM** — one stream instruction per 16 words: strided stream loads,
+  stream arithmetic (a share of it accumulator reductions), stream stores,
+  and only 3 integer instructions (address update, stream-length bookkeeping,
+  loop branch) per chunk.
+
+The loop body PCs are static and replayed every iteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tracegen.builder import (
+    FractionAccumulator,
+    INSTRUCTION_BYTES,
+    TraceBuilder,
+)
+from repro.tracegen.mixes import MOM_INT_PER_CHUNK, STREAM_LENGTH, ProgramMix
+
+#: Share of core packed ops that are multiplies (pmaddwd-style MACs).
+CORE_MUL_FRAC = 0.40
+
+#: Under MOM, share of core stream ops that use packed accumulators.
+MOM_REDUCE_FRAC = 0.5
+
+#: Chunks between stream-length register rewrites (loop prologues).
+SETSLR_PERIOD = 8
+
+#: Share of fresh kernel loads that stream cold frame data (sequential,
+#: unreused) rather than re-walking the hot tile.  This is the traffic
+#: that pressures L2 capacity and DRDRAM bandwidth as threads are added.
+COLD_STREAM_FRAC = 0.06
+
+
+class KernelRegion:
+    """Lowers bursts of one program's kernel loop onto the target ISA."""
+
+    def __init__(self, builder: TraceBuilder, mix: ProgramMix,
+                 input_arrays: tuple[int, int] = (0, 1), output_array: int = 2):
+        if mix.simd_ops_per_word <= 0:
+            raise ValueError(f"{mix.name} has no vectorizable kernel")
+        self.builder = builder
+        self.mix = mix
+        self.input_arrays = input_arrays
+        self.output_array = output_array
+        # Static loop body: enough PCs for the densest iteration.
+        body_estimate = (
+            mix.loads_per_word
+            + mix.stores_per_word
+            + mix.simd_ops_per_word
+            + max(mix.int_per_word, MOM_INT_PER_CHUNK)
+            + 4
+        )
+        self._body_len = int(math.ceil(body_estimate)) + 2
+        self._body_base = builder.alloc_code(self._body_len)
+        self._branch_pc = (
+            self._body_base + (self._body_len - 1) * INSTRUCTION_BYTES
+        )
+        # Fractional emission state persists across bursts so long-run
+        # rates match the mix exactly.
+        if builder.isa == "mmx":
+            # Fresh loads advance the stream walk; the redundant loads of
+            # sliding-window code re-read bytes just loaded (they hit the
+            # cache, and MOM's strided streams simply elide them) — so
+            # both ISAs touch identical fresh bytes per word of work.
+            fresh = mix.loads_per_word - mix.redundant_loads_per_word
+            self._acc_loads = FractionAccumulator(fresh * (1 - COLD_STREAM_FRAC))
+            self._acc_cold = FractionAccumulator(fresh * COLD_STREAM_FRAC)
+            self._acc_redundant = FractionAccumulator(
+                mix.redundant_loads_per_word
+            )
+            self._last_load_addr = {
+                array: builder.space.stream_addr(array, 0)
+                for array in input_arrays
+            }
+            self._acc_stores = FractionAccumulator(mix.stores_per_word)
+            self._acc_core = FractionAccumulator(mix.core_ops_per_word)
+            self._acc_overhead = FractionAccumulator(mix.overhead_ops_per_word)
+            # The loop branch is part of the integer budget; unrolled
+            # loops (int_per_word < 1) branch less than once per word.
+            branch_rate = min(mix.int_per_word, 1.0)
+            self._acc_branch = FractionAccumulator(max(branch_rate, 1.0 / 32))
+            self._acc_int = FractionAccumulator(
+                max(mix.int_per_word - branch_rate, 0.0)
+            )
+        else:
+            kept_loads = mix.loads_per_word - mix.redundant_loads_per_word
+            self._acc_loads = FractionAccumulator(
+                kept_loads * (1 - COLD_STREAM_FRAC)
+            )
+            self._acc_cold = FractionAccumulator(kept_loads * COLD_STREAM_FRAC)
+            self._acc_stores = FractionAccumulator(mix.stores_per_word)
+            self._acc_core = FractionAccumulator(mix.core_ops_per_word)
+        self._chunk_counter = 0
+        self._pc_cursor = 0
+
+    def _pc(self) -> int:
+        """Next static body PC (wraps before the branch slot)."""
+        pc = self._body_base + self._pc_cursor * INSTRUCTION_BYTES
+        self._pc_cursor = (self._pc_cursor + 1) % (self._body_len - 1)
+        return pc
+
+    # ----- MMX lowering ---------------------------------------------------
+
+    def _emit_word_mmx(self, last: bool) -> None:
+        builder = self.builder
+        mix = self.mix
+        for i in range(self._acc_loads.take()):
+            array = self.input_arrays[i % len(self.input_arrays)]
+            addr = builder.space.stream_addr(array, mix.stream_stride)
+            self._last_load_addr[array] = addr
+            builder.mmx_load(addr, pc=self._pc())
+        for i in range(self._acc_redundant.take()):
+            array = self.input_arrays[i % len(self.input_arrays)]
+            builder.mmx_load(self._last_load_addr[array], pc=self._pc())
+        for __ in range(self._acc_cold.take()):
+            builder.mmx_load(builder.space.cold_addr(8), pc=self._pc())
+        for i in range(self._acc_core.take()):
+            builder.mmx_op(mul=builder.rng.random() < CORE_MUL_FRAC, pc=self._pc())
+        for __ in range(self._acc_overhead.take()):
+            builder.mmx_op(mul=False, pc=self._pc())
+        for __ in range(self._acc_stores.take()):
+            addr = builder.space.stream_addr(self.output_array, mix.stream_stride)
+            builder.mmx_store(addr, pc=self._pc())
+        for __ in range(self._acc_int.take()):
+            builder.int_op(pc=self._pc())
+        for __ in range(self._acc_branch.take()):
+            builder.branch(
+                taken=not last, target=self._body_base, pc=self._branch_pc
+            )
+
+    # ----- MOM lowering ----------------------------------------------------
+
+    def _emit_chunk_mom(self, last: bool) -> None:
+        """One unrolled chunk of 16 words of kernel work.
+
+        The program's kernels sustain streams of ``mix.stream_length``
+        words; shorter streams need proportionally more instructions to
+        cover the chunk (an 8-word-stream kernel is unrolled twice per
+        chunk), while the loop-control integer cost stays per-chunk.
+        """
+        builder = self.builder
+        mix = self.mix
+        span = mix.stream_stride
+        length = mix.stream_length
+        reps = max(1, STREAM_LENGTH // length)
+        self._chunk_counter += 1
+        if self._chunk_counter % SETSLR_PERIOD == 1:
+            builder.setslr(pc=self._pc())
+        else:
+            builder.int_op(pc=self._pc())
+        # Rates are per word; one rep-set of stream instructions covers the
+        # whole 16-word chunk — so each accumulator fires once per chunk.
+        for i in range(self._acc_loads.take()):
+            array = self.input_arrays[i % len(self.input_arrays)]
+            for __ in range(reps):
+                addr = builder.space.stream_addr(array, span * length)
+                builder.mom_load(addr, length, span, pc=self._pc())
+        for __ in range(self._acc_cold.take()):
+            for __ in range(reps):
+                addr = builder.space.cold_addr(8 * length)
+                builder.mom_load(addr, length, 8, pc=self._pc())
+        for __ in range(self._acc_core.take()):
+            reduce = builder.rng.random() < MOM_REDUCE_FRAC
+            mul = not reduce and builder.rng.random() < CORE_MUL_FRAC
+            for __ in range(reps):
+                builder.mom_op(length, mul=mul, reduce=reduce, pc=self._pc())
+        for __ in range(self._acc_stores.take()):
+            for __ in range(reps):
+                addr = builder.space.stream_addr(self.output_array, span * length)
+                builder.mom_store(addr, length, span, pc=self._pc())
+        builder.int_op(pc=self._pc())
+        builder.branch(taken=not last, target=self._body_base, pc=self._branch_pc)
+
+    # ----- public API ---------------------------------------------------------
+
+    def emit_burst(self, words: int) -> None:
+        """Emit ``words`` elements of kernel work on the builder's ISA.
+
+        Under MMX this is ``words`` loop iterations; under MOM it is
+        ``ceil(words / 16)`` stream chunks.
+        """
+        if words <= 0:
+            return
+        if self.builder.isa == "mmx":
+            for i in range(words):
+                self._emit_word_mmx(last=(i == words - 1))
+        else:
+            chunks = max(1, round(words / STREAM_LENGTH))
+            for i in range(chunks):
+                self._emit_chunk_mom(last=(i == chunks - 1))
+
+
+class FpKernelRegion:
+    """Floating-point loop bursts (mesa's geometry/raster inner loops).
+
+    Not vectorized under either ISA (the paper's emulation library had no
+    FP µ-SIMD), so the same code is emitted for MMX and MOM traces.
+    """
+
+    #: Per-iteration composition of the FP loop body.
+    FP_PER_ITER = 4
+    INT_PER_ITER = 2          # plus the loop branch
+    LOADS_PER_ITER = 2
+    STORES_PER_ITER = 1
+
+    def __init__(self, builder: TraceBuilder, input_array: int = 0,
+                 output_array: int = 3, stride: int = 8):
+        self.builder = builder
+        self.input_array = input_array
+        self.output_array = output_array
+        self.stride = stride
+        body = (
+            self.FP_PER_ITER
+            + self.INT_PER_ITER
+            + self.LOADS_PER_ITER
+            + self.STORES_PER_ITER
+            + 1
+        )
+        self._body_base = builder.alloc_code(body)
+        self._branch_pc = self._body_base + (body - 1) * INSTRUCTION_BYTES
+
+    def emit_burst(self, iterations: int) -> dict[str, int]:
+        """Emit FP loop iterations; returns emitted class counts."""
+        builder = self.builder
+        emitted = {"int": 0, "fp": 0, "mem": 0}
+        pc = self._body_base
+        for i in range(iterations):
+            pc = self._body_base
+            for __ in range(self.LOADS_PER_ITER):
+                addr = builder.space.stream_addr(self.input_array, self.stride)
+                builder.load(addr, pc=pc)
+                pc += INSTRUCTION_BYTES
+                emitted["mem"] += 1
+            for j in range(self.FP_PER_ITER):
+                builder.fp_op(mul=(j % 2 == 0), pc=pc)
+                pc += INSTRUCTION_BYTES
+                emitted["fp"] += 1
+            for __ in range(self.STORES_PER_ITER):
+                addr = builder.space.stream_addr(self.output_array, self.stride)
+                builder.store(addr, pc=pc)
+                pc += INSTRUCTION_BYTES
+                emitted["mem"] += 1
+            for __ in range(self.INT_PER_ITER):
+                builder.int_op(pc=pc)
+                pc += INSTRUCTION_BYTES
+                emitted["int"] += 1
+            builder.branch(
+                taken=(i != iterations - 1),
+                target=self._body_base,
+                pc=self._branch_pc,
+            )
+            emitted["int"] += 1
+        return emitted

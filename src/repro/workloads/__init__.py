@@ -1,0 +1,17 @@
+"""Workload definition: the paper's MPEG-4-inspired multiprogrammed mix."""
+
+from repro.workloads.mediabench import (
+    BenchmarkProgram,
+    MEDIABENCH_PROGRAMS,
+    WORKLOAD_ORDER,
+    build_workload_traces,
+)
+from repro.workloads.multiprog import MultiprogramScheduler
+
+__all__ = [
+    "BenchmarkProgram",
+    "MEDIABENCH_PROGRAMS",
+    "WORKLOAD_ORDER",
+    "build_workload_traces",
+    "MultiprogramScheduler",
+]

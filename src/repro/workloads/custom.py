@@ -1,0 +1,129 @@
+"""User-defined workloads: bring your own media programs.
+
+The paper's workload is one instantiation of the model; downstream users
+can define their own program profiles (a video conferencing mix, a pure
+audio server, ...) and run them through the same machine models:
+
+    from repro.workloads.custom import define_program, build_custom_workload
+
+    define_program(
+        "h26x_enc", minsts=400.0,
+        frac_int=0.58, frac_fp=0.0, frac_simd=0.26, frac_mem=0.16,
+        vector_profile="motion_search",
+    )
+    traces = build_custom_workload(["h26x_enc", "gsmdec"], "mom")
+
+``vector_profile`` selects a kernel template from a small library of
+archetypes instead of requiring users to hand-tune the per-word costs.
+"""
+
+from __future__ import annotations
+
+from repro.tracegen.mixes import WORKLOAD_MIXES, ProgramMix
+from repro.tracegen.program import DEFAULT_SCALE, Trace, build_program_trace
+
+#: Kernel-template archetypes: per-word costs of common media loop styles.
+VECTOR_PROFILES: dict[str, dict[str, float]] = {
+    # Sliding-window search: heavy reuse, big MMX overhead, redundant loads.
+    "motion_search": dict(
+        core_ops_per_word=2.0, overhead_ops_per_word=5.0, int_per_word=6.5,
+        redundant_loads_per_word=0.8, loads_per_word=2.4,
+        stores_per_word=0.3, stream_stride=8, tile_bytes=1024,
+        tile_passes=40, stream_length=16,
+    ),
+    # Block transform: moderate overhead, row-strided access.
+    "block_transform": dict(
+        core_ops_per_word=2.0, overhead_ops_per_word=2.4, int_per_word=2.0,
+        redundant_loads_per_word=0.0, loads_per_word=1.5,
+        stores_per_word=0.5, stream_stride=16, tile_bytes=2048,
+        tile_passes=12, stream_length=8,
+    ),
+    # Sample-stream filter: unit stride, light overhead.
+    "stream_filter": dict(
+        core_ops_per_word=2.0, overhead_ops_per_word=1.2, int_per_word=1.2,
+        redundant_loads_per_word=0.0, loads_per_word=1.3,
+        stores_per_word=0.3, stream_stride=8, tile_bytes=1024,
+        tile_passes=16, stream_length=8,
+    ),
+    # No vectorizable kernel at all (pure scalar/FP program).
+    "scalar_only": dict(
+        core_ops_per_word=0.0, overhead_ops_per_word=0.0, int_per_word=0.0,
+        redundant_loads_per_word=0.0, loads_per_word=0.0,
+        stores_per_word=0.0,
+    ),
+}
+
+
+def define_program(
+    name: str,
+    minsts: float,
+    frac_int: float,
+    frac_fp: float,
+    frac_simd: float,
+    frac_mem: float,
+    vector_profile: str = "stream_filter",
+    description: str = "",
+    kernel_working_set: int = 256 << 10,
+    scalar_working_set: int = 12 << 10,
+    replace: bool = False,
+) -> ProgramMix:
+    """Register a new workload program; returns its :class:`ProgramMix`.
+
+    ``minsts`` is the dynamic instruction count in millions at full
+    (paper) scale — it sets the program's relative length in a workload.
+    """
+    if name in WORKLOAD_MIXES and not replace:
+        raise ValueError(
+            f"program {name!r} already defined (pass replace=True to override)"
+        )
+    if vector_profile not in VECTOR_PROFILES:
+        raise KeyError(
+            f"unknown vector profile {vector_profile!r}; "
+            f"choose from {sorted(VECTOR_PROFILES)}"
+        )
+    if frac_simd > 0 and vector_profile == "scalar_only":
+        raise ValueError("a SIMD fraction needs a vectorizable profile")
+    template = VECTOR_PROFILES[vector_profile]
+    mix = ProgramMix(
+        name=name,
+        description=description or f"user-defined ({vector_profile})",
+        mmx_minsts=minsts,
+        frac_int=frac_int,
+        frac_fp=frac_fp,
+        frac_simd=frac_simd,
+        frac_mem=frac_mem,
+        kernel_working_set=kernel_working_set,
+        scalar_working_set=scalar_working_set,
+        **template,
+    )
+    WORKLOAD_MIXES[name] = mix
+    return mix
+
+
+def remove_program(name: str) -> None:
+    """Unregister a user-defined program (paper programs refuse)."""
+    from repro.workloads.mediabench import MEDIABENCH_PROGRAMS
+
+    if name in MEDIABENCH_PROGRAMS:
+        raise ValueError(f"{name!r} is part of the paper's workload")
+    WORKLOAD_MIXES.pop(name, None)
+
+
+def build_custom_workload(
+    names: list[str],
+    isa: str,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> list[Trace]:
+    """Build traces for an arbitrary program list (duplicates allowed)."""
+    if not names:
+        raise ValueError("workload needs at least one program")
+    traces = []
+    seen: dict[str, int] = {}
+    for name in names:
+        instance = seen.get(name, 0)
+        seen[name] = instance + 1
+        traces.append(
+            build_program_trace(name, isa, scale=scale, seed=seed + 7 * instance)
+        )
+    return traces

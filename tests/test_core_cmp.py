@@ -1,0 +1,104 @@
+"""Tests for the CMP extension (shared L2, private L1s, lockstep cores)."""
+
+import pytest
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.core.cmp import CMP_L1, CmpSystem, cmp_core_config
+from repro.memory import ConventionalHierarchy
+from repro.workloads import build_workload_traces
+
+SCALE = 1.2e-5
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_workload_traces("mmx", scale=SCALE)
+
+
+class TestCoreConfig:
+    def test_core_is_narrow(self):
+        config = cmp_core_config("mmx")
+        assert config.n_threads == 1
+        assert config.fetch_width == 4
+        assert config.issue_int == 2
+        assert config.dispatch_width == 4
+
+    def test_private_l1_is_half_size(self):
+        assert CMP_L1.size == 16 << 10
+        assert CMP_L1.assoc == 1
+
+    def test_mom_core_single_simd_issue(self):
+        config = cmp_core_config("mom")
+        assert config.issue_simd == 1
+
+
+class TestCmpSystem:
+    def test_completes_workload(self, traces):
+        result = CmpSystem("mmx", 2, build_workload_traces("mmx", scale=SCALE)).run()
+        assert result.program_completions == 8
+        assert result.fetch_policy == "cmp"
+        assert result.eipc > 0.5
+
+    def test_cores_share_l2(self, traces):
+        system = CmpSystem("mmx", 2, build_workload_traces("mmx", scale=SCALE))
+        assert all(core.memory.l2 is system.l2 for core in system.cores)
+        assert all(core.memory.dram is system.dram for core in system.cores)
+
+    def test_cores_have_private_l1(self):
+        system = CmpSystem("mmx", 2, build_workload_traces("mmx", scale=SCALE))
+        l1s = {id(core.memory.l1) for core in system.cores}
+        assert len(l1s) == 2
+
+    def test_initial_programs_follow_workload_order(self):
+        system = CmpSystem("mmx", 4, build_workload_traces("mmx", scale=SCALE))
+        names = [core.threads[0].trace.name for core in system.cores]
+        assert names == ["mpeg2enc", "gsmdec", "mpeg2dec", "gsmenc"]
+
+    def test_more_cores_more_throughput(self):
+        eipc = {}
+        for cores in (2, 4):
+            result = CmpSystem(
+                "mmx", cores, build_workload_traces("mmx", scale=SCALE)
+            ).run()
+            eipc[cores] = result.eipc
+        assert eipc[4] > 1.4 * eipc[2]
+
+    def test_private_l1_hit_rate_beats_shared_smt(self):
+        cmp_result = CmpSystem(
+            "mmx", 4, build_workload_traces("mmx", scale=SCALE)
+        ).run()
+        smt_result = SMTProcessor(
+            SMTConfig(isa="mmx", n_threads=4),
+            ConventionalHierarchy(),
+            build_workload_traces("mmx", scale=SCALE),
+        ).run()
+        # No inter-thread interference in private caches.
+        assert cmp_result.memory.l1.hit_rate > smt_result.memory.l1.hit_rate
+
+    def test_single_wide_core_beats_single_cmp_core(self):
+        # The paper's Amdahl argument for SMT: with little TLP, one wide
+        # core outruns a narrow CMP core.
+        narrow = CmpSystem(
+            "mmx", 1, build_workload_traces("mmx", scale=SCALE)
+        ).run()
+        wide = SMTProcessor(
+            SMTConfig(isa="mmx", n_threads=1),
+            ConventionalHierarchy(),
+            build_workload_traces("mmx", scale=SCALE),
+        ).run()
+        assert wide.eipc > narrow.eipc
+
+    def test_core_count_validated(self, traces):
+        with pytest.raises(ValueError):
+            CmpSystem("mmx", 0, traces)
+
+    def test_deterministic(self):
+        results = [
+            CmpSystem("mom", 2, build_workload_traces("mom", scale=SCALE)).run()
+            for __ in range(2)
+        ]
+        assert results[0].cycles == results[1].cycles
+        assert (
+            results[0].committed_instructions
+            == results[1].committed_instructions
+        )

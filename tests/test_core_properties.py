@@ -1,0 +1,126 @@
+"""Property-based tests of pipeline invariants (hypothesis).
+
+Random mixes of instruction types are pushed through the full SMT
+pipeline on perfect memory; whatever the mix, fundamental invariants must
+hold: everything fetched eventually commits exactly once, in per-thread
+program order, within structural throughput bounds, deterministically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.core.smt import ThreadContext
+from repro.memory import PerfectMemory
+from repro.tracegen.builder import TraceBuilder
+from repro.tracegen.mixes import WORKLOAD_MIXES
+from repro.tracegen.program import Trace
+
+OP_KINDS = ("int", "mul", "fp", "load", "store", "branch", "mmx", "mmx_load")
+
+
+def build_random_trace(kinds, seed, isa="mmx") -> Trace:
+    builder = TraceBuilder(isa, seed=seed)
+    body = builder.alloc_code(64)
+    for i, kind in enumerate(kinds):
+        pc = body + 4 * (i % 63)
+        if kind == "int":
+            builder.int_op(pc=pc)
+        elif kind == "mul":
+            builder.int_op(mul=True, pc=pc)
+        elif kind == "fp":
+            builder.fp_op(pc=pc)
+        elif kind == "load":
+            builder.load(0x10000 + 8 * (i % 128), pc=pc)
+        elif kind == "store":
+            builder.store(0x20000 + 8 * (i % 128), pc=pc)
+        elif kind == "branch":
+            builder.branch(taken=(i % 3 == 0), target=body, pc=body + 252)
+        elif kind == "mmx":
+            builder.mmx_op(pc=pc)
+        elif kind == "mmx_load":
+            builder.mmx_load(0x30000 + 8 * (i % 64), pc=pc)
+    return Trace(
+        name="random",
+        isa=isa,
+        instructions=builder.instructions,
+        mmx_equivalent=sum(x.stream_length for x in builder.instructions),
+        mix=WORKLOAD_MIXES["gsmdec"],
+    )
+
+
+def run_trace(trace, n_threads=1):
+    processor = SMTProcessor(
+        SMTConfig(isa=trace.isa, n_threads=n_threads),
+        PerfectMemory(),
+        [trace],
+        completions_target=1,
+        warmup_fraction=0.0,
+        max_cycles=2_000_000,
+    )
+    return processor, processor.run()
+
+
+kind_lists = st.lists(st.sampled_from(OP_KINDS), min_size=5, max_size=250)
+
+
+class TestPipelineInvariants:
+    @given(kind_lists, st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_everything_commits_exactly_once(self, kinds, seed):
+        trace = build_random_trace(kinds, seed)
+        __, result = run_trace(trace)
+        assert result.committed_instructions == len(kinds)
+        assert result.program_completions == 1
+
+    @given(kind_lists, st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_ipc_within_structural_bounds(self, kinds, seed):
+        trace = build_random_trace(kinds, seed)
+        __, result = run_trace(trace)
+        # Fetch delivers at most 8/cycle; nothing can commit faster.
+        assert result.ipc <= 8.0
+        assert result.cycles >= len(kinds) / 8
+
+    @given(kind_lists, st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_replay(self, kinds, seed):
+        trace = build_random_trace(kinds, seed)
+        __, first = run_trace(trace)
+        __, second = run_trace(trace)
+        assert first.cycles == second.cycles
+        assert first.committed_instructions == second.committed_instructions
+
+    @given(kind_lists, st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_no_state_leaks_after_completion(self, kinds, seed):
+        trace = build_random_trace(kinds, seed)
+        processor, __ = run_trace(trace)
+        # Every structural resource returns to its initial level.
+        assert processor.window.occupancy == 0
+        for queue in processor.queues.values():
+            assert queue.occupancy == 0
+        expected = processor.config.resources.rename_regs
+        assert processor.pools == dict(expected)
+        assert not processor._wake
+
+    @given(kind_lists, st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_serial_chain_is_upper_bounded_by_chain_length(self, kinds, seed):
+        trace = build_random_trace(kinds, seed)
+        __, result = run_trace(trace)
+        # Even a fully serial chain finishes in O(n * max_latency) cycles:
+        # a loose sanity ceiling that catches runaway stalls.
+        assert result.cycles < 40 * len(kinds) + 500
+
+
+class TestThreadContext:
+    def test_assign_resets_state(self):
+        trace = build_random_trace(["int"] * 10, seed=1)
+        ctx = ThreadContext(0)
+        ctx.fetch_idx = 5
+        ctx.fetch_blocked = True
+        ctx.assign(trace)
+        assert ctx.fetch_idx == 0
+        assert not ctx.fetch_blocked
+        assert ctx.trace is trace
+        assert ctx.equiv_per_inst == 1.0

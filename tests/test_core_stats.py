@@ -1,0 +1,86 @@
+"""Tests for the pipeline instrumentation layer."""
+
+import pytest
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.core.stats import InstrumentedRun, PipelineStats
+from repro.memory import PerfectMemory
+from repro.workloads import build_workload_traces
+
+SCALE = 1.2e-5
+
+
+def instrumented(isa="mmx", n_threads=2):
+    processor = SMTProcessor(
+        SMTConfig(isa=isa, n_threads=n_threads),
+        PerfectMemory(),
+        build_workload_traces(isa, scale=SCALE),
+    )
+    run = InstrumentedRun(processor)
+    result = run.run()
+    return run, result
+
+
+class TestInstrumentedRun:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        return instrumented()
+
+    def test_result_matches_plain_run(self, run_result):
+        __, result = run_result
+        plain = SMTProcessor(
+            SMTConfig(isa="mmx", n_threads=2),
+            PerfectMemory(),
+            build_workload_traces("mmx", scale=SCALE),
+        ).run()
+        assert result.cycles == plain.cycles
+        assert result.committed_instructions == plain.committed_instructions
+
+    def test_samples_every_cycle(self, run_result):
+        run, result = run_result
+        # Sampled cycles >= measured cycles (warmup cycles included).
+        assert run.stats.cycles_sampled >= result.cycles
+
+    def test_issue_utilization_bounded(self, run_result):
+        run, __ = run_result
+        for name, width in (("int", 4), ("mem", 4), ("fp", 4), ("simd", 2)):
+            util = run.stats.issue_utilization(name, width)
+            assert 0.0 <= util <= 1.0
+
+    def test_integer_queue_is_hottest(self, run_result):
+        run, __ = run_result
+        stats = run.stats
+        int_util = stats.issue_utilization("int", 4)
+        assert int_util > stats.issue_utilization("fp", 4)
+        assert int_util > stats.issue_utilization("simd", 2)
+
+    def test_window_occupancy_within_capacity(self, run_result):
+        run, __ = run_result
+        assert 0 < run.stats.mean_window_occupancy <= run.stats.window_capacity
+
+    def test_fairness_reasonable_for_round_robin(self, run_result):
+        run, __ = run_result
+        assert run.stats.fairness_index() > 0.5
+
+    def test_report_renders(self, run_result):
+        run, __ = run_result
+        text = run.stats.report({"int": 4, "mem": 4, "fp": 4, "simd": 2})
+        assert "int" in text and "fairness" in text
+
+
+class TestPipelineStats:
+    def test_empty_stats_safe(self):
+        stats = PipelineStats()
+        assert stats.issue_utilization("int", 4) == 0.0
+        assert stats.mean_window_occupancy == 0.0
+        assert stats.fairness_index() == 1.0
+
+    def test_fairness_perfectly_even(self):
+        stats = PipelineStats()
+        stats.per_thread_committed.update({0: 100, 1: 100, 2: 100})
+        assert stats.fairness_index() == pytest.approx(1.0)
+
+    def test_fairness_single_hog(self):
+        stats = PipelineStats()
+        stats.per_thread_committed.update({0: 300, 1: 1, 2: 1})
+        assert stats.fairness_index() < 0.5

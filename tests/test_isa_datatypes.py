@@ -1,0 +1,139 @@
+"""Unit and property tests for packed sub-word data types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.datatypes import (
+    ElementType,
+    lanewise,
+    pack_lanes,
+    saturate,
+    to_signed,
+    to_unsigned,
+    unpack_lanes,
+    wrap,
+)
+
+ALL_TYPES = list(ElementType)
+
+
+def lane_values(etype):
+    return st.lists(
+        st.integers(etype.min_value, etype.max_value),
+        min_size=etype.lanes,
+        max_size=etype.lanes,
+    )
+
+
+class TestElementType:
+    def test_lane_counts(self):
+        assert ElementType.INT8.lanes == 8
+        assert ElementType.INT16.lanes == 4
+        assert ElementType.INT32.lanes == 2
+        assert ElementType.UINT8.lanes == 8
+
+    def test_signed_ranges(self):
+        assert ElementType.INT8.min_value == -128
+        assert ElementType.INT8.max_value == 127
+        assert ElementType.INT16.max_value == 32767
+        assert ElementType.UINT16.min_value == 0
+        assert ElementType.UINT16.max_value == 65535
+
+    def test_unsigned_ranges(self):
+        assert ElementType.UINT32.max_value == (1 << 32) - 1
+
+
+class TestReinterpretation:
+    def test_to_signed_wraps_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0x7F, 8) == 127
+
+    def test_to_unsigned_masks(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(-128, 8) == 0x80
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_roundtrip_16(self, value):
+        assert to_signed(to_unsigned(value, 16), 16) == value
+
+
+class TestSaturation:
+    def test_saturate_clamps_high(self):
+        assert saturate(300, ElementType.INT8) == 127
+        assert saturate(70000, ElementType.UINT16) == 65535
+
+    def test_saturate_clamps_low(self):
+        assert saturate(-300, ElementType.INT8) == -128
+        assert saturate(-5, ElementType.UINT8) == 0
+
+    def test_saturate_identity_in_range(self):
+        assert saturate(100, ElementType.INT16) == 100
+
+    @given(st.integers(-(1 << 40), 1 << 40))
+    def test_saturate_always_in_range(self, value):
+        for etype in ALL_TYPES:
+            result = saturate(value, etype)
+            assert etype.min_value <= result <= etype.max_value
+
+    def test_wrap_modular(self):
+        assert wrap(128, ElementType.INT8) == -128
+        assert wrap(256, ElementType.UINT8) == 0
+        assert wrap(-1, ElementType.UINT8) == 255
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("etype", ALL_TYPES)
+    def test_roundtrip_zero(self, etype):
+        lanes = [0] * etype.lanes
+        assert unpack_lanes(pack_lanes(lanes, etype), etype) == lanes
+
+    @given(st.data())
+    def test_roundtrip_property(self, data):
+        etype = data.draw(st.sampled_from(ALL_TYPES))
+        lanes = data.draw(lane_values(etype))
+        assert unpack_lanes(pack_lanes(lanes, etype), etype) == lanes
+
+    def test_little_endian_layout(self):
+        word = pack_lanes([1, 2, 3, 4], ElementType.INT16)
+        assert word & 0xFFFF == 1
+        assert (word >> 48) & 0xFFFF == 4
+
+    def test_wrong_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes([1, 2, 3], ElementType.INT16)
+
+    def test_out_of_range_lane_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes([300] + [0] * 7, ElementType.INT8)
+
+    def test_unpack_rejects_non_u64(self):
+        with pytest.raises(ValueError):
+            unpack_lanes(1 << 64, ElementType.INT8)
+        with pytest.raises(ValueError):
+            unpack_lanes(-1, ElementType.INT8)
+
+
+class TestLanewise:
+    @given(st.data())
+    def test_saturating_add_in_range(self, data):
+        etype = data.draw(st.sampled_from(ALL_TYPES))
+        a = pack_lanes(data.draw(lane_values(etype)), etype)
+        b = pack_lanes(data.draw(lane_values(etype)), etype)
+        out = unpack_lanes(
+            lanewise(lambda x, y: x + y, a, b, etype, saturating=True), etype
+        )
+        for lane in out:
+            assert etype.min_value <= lane <= etype.max_value
+
+    @given(st.data())
+    def test_wrapping_add_matches_modular_arithmetic(self, data):
+        etype = data.draw(st.sampled_from([ElementType.INT8, ElementType.INT16]))
+        xs = data.draw(lane_values(etype))
+        ys = data.draw(lane_values(etype))
+        a, b = pack_lanes(xs, etype), pack_lanes(ys, etype)
+        out = unpack_lanes(
+            lanewise(lambda x, y: x + y, a, b, etype, saturating=False), etype
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == wrap(x + y, etype)

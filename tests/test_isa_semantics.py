@@ -1,0 +1,259 @@
+"""Tests for the executable µ-SIMD semantics against scalar references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.datatypes import ElementType as ET, pack_lanes, unpack_lanes
+from repro.isa.semantics import (
+    PackedAccumulator,
+    execute_mmx,
+    execute_mmx3,
+    execute_mom,
+    pmaddwd,
+    psadbw,
+)
+
+
+def words16(draw, n=4, lo=-32768, hi=32767):
+    return draw(st.lists(st.integers(lo, hi), min_size=n, max_size=n))
+
+
+u64 = st.integers(0, (1 << 64) - 1)
+i16x4 = st.lists(st.integers(-32768, 32767), min_size=4, max_size=4)
+u8x8 = st.lists(st.integers(0, 255), min_size=8, max_size=8)
+
+
+class TestArithmetic:
+    @given(i16x4, i16x4)
+    def test_paddw_is_modular(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("paddw", pack_lanes(xs, ET.INT16), pack_lanes(ys, ET.INT16)),
+            ET.INT16,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert (o - (x + y)) % (1 << 16) == 0
+
+    @given(i16x4, i16x4)
+    def test_paddsw_saturates(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("paddsw", pack_lanes(xs, ET.INT16), pack_lanes(ys, ET.INT16)),
+            ET.INT16,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == max(-32768, min(32767, x + y))
+
+    @given(u8x8, u8x8)
+    def test_paddusb_saturates_unsigned(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("paddusb", pack_lanes(xs, ET.UINT8), pack_lanes(ys, ET.UINT8)),
+            ET.UINT8,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == min(255, x + y)
+
+    @given(u8x8, u8x8)
+    def test_psubusb_floors_at_zero(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("psubusb", pack_lanes(xs, ET.UINT8), pack_lanes(ys, ET.UINT8)),
+            ET.UINT8,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == max(0, x - y)
+
+    @given(i16x4, i16x4)
+    def test_pmulhw_keeps_high_half(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("pmulhw", pack_lanes(xs, ET.INT16), pack_lanes(ys, ET.INT16)),
+            ET.INT16,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == (x * y) >> 16
+
+    @given(u8x8, u8x8)
+    def test_pavgb_rounds_up(self, xs, ys):
+        out = unpack_lanes(
+            execute_mmx("pavgb", pack_lanes(xs, ET.UINT8), pack_lanes(ys, ET.UINT8)),
+            ET.UINT8,
+        )
+        for x, y, o in zip(xs, ys, out):
+            assert o == (x + y + 1) >> 1
+
+    @given(u8x8, u8x8)
+    def test_min_max_elementwise(self, xs, ys):
+        a, b = pack_lanes(xs, ET.UINT8), pack_lanes(ys, ET.UINT8)
+        assert unpack_lanes(execute_mmx("pminub", a, b), ET.UINT8) == [
+            min(x, y) for x, y in zip(xs, ys)
+        ]
+        assert unpack_lanes(execute_mmx("pmaxub", a, b), ET.UINT8) == [
+            max(x, y) for x, y in zip(xs, ys)
+        ]
+
+
+class TestMultiplyAdd:
+    @given(i16x4, i16x4)
+    def test_pmaddwd_reference(self, xs, ys):
+        out = unpack_lanes(pmaddwd(pack_lanes(xs, ET.INT16), pack_lanes(ys, ET.INT16)), ET.INT32)
+        expected0 = xs[0] * ys[0] + xs[1] * ys[1]
+        expected1 = xs[2] * ys[2] + xs[3] * ys[3]
+        # pmaddwd wraps at 32 bits (overflow only at extreme corner values).
+        assert (out[0] - expected0) % (1 << 32) == 0
+        assert (out[1] - expected1) % (1 << 32) == 0
+
+    @given(u8x8, u8x8)
+    def test_psadbw_reference(self, xs, ys):
+        got = psadbw(pack_lanes(xs, ET.UINT8), pack_lanes(ys, ET.UINT8))
+        assert got == sum(abs(x - y) for x, y in zip(xs, ys))
+
+    @given(u8x8)
+    def test_psadbw_self_is_zero(self, xs):
+        a = pack_lanes(xs, ET.UINT8)
+        assert psadbw(a, a) == 0
+
+
+class TestLogicAndFormat:
+    @given(u64, u64)
+    def test_logic_ops(self, a, b):
+        mask = (1 << 64) - 1
+        assert execute_mmx("pand", a, b) == a & b
+        assert execute_mmx("por", a, b) == a | b
+        assert execute_mmx("pxor", a, b) == a ^ b
+        assert execute_mmx("pandn", a, b) == (~a & b) & mask
+
+    def test_pack_saturates(self):
+        a = pack_lanes([300, -300, 5, 0], ET.INT16)
+        b = pack_lanes([1, 2, 3, 4], ET.INT16)
+        out = unpack_lanes(execute_mmx("packsswb", a, b), ET.INT8)
+        assert out == [127, -128, 5, 0, 1, 2, 3, 4]
+
+    def test_unpack_low_interleaves(self):
+        a = pack_lanes([1, 2, 3, 4], ET.INT16)
+        b = pack_lanes([5, 6, 7, 8], ET.INT16)
+        assert unpack_lanes(execute_mmx("punpcklwd", a, b), ET.INT16) == [1, 5, 2, 6]
+
+    def test_unpack_high_interleaves(self):
+        a = pack_lanes([1, 2, 3, 4], ET.INT16)
+        b = pack_lanes([5, 6, 7, 8], ET.INT16)
+        assert unpack_lanes(execute_mmx("punpckhwd", a, b), ET.INT16) == [3, 7, 4, 8]
+
+    @given(i16x4, st.integers(0, 15))
+    def test_shift_left_right_inverse_for_small_values(self, xs, shift):
+        small = [x >> 8 for x in xs]  # keep headroom
+        a = pack_lanes(small, ET.INT16)
+        left = execute_mmx("psllw", a, imm=shift)
+        back = execute_mmx("psrlw", left, imm=shift)
+        if all(v >= 0 for v in small) and shift <= 7:
+            assert unpack_lanes(back, ET.UINT16) == [v for v in small]
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            execute_mmx("pbogus", 0, 0)
+
+
+class TestThreeSource:
+    @given(u64, u64, u64)
+    def test_pselect_bitwise(self, a, b, c):
+        out = execute_mmx3("pselect", a, b, c)
+        assert out == ((a & b) | (~a & c)) & ((1 << 64) - 1)
+
+    @given(i16x4, i16x4)
+    def test_pmadd3_accumulates(self, xs, ys):
+        a, b = pack_lanes(xs, ET.INT16), pack_lanes(ys, ET.INT16)
+        zero = 0
+        assert execute_mmx3("pmadd3wd", a, b, zero) == pmaddwd(a, b)
+
+
+class TestMomStreams:
+    @given(st.lists(i16x4, min_size=1, max_size=16), st.data())
+    def test_stream_equals_elementwise_mmx(self, rows, data):
+        stream_a = [pack_lanes(r, ET.INT16) for r in rows]
+        rows_b = [
+            data.draw(st.lists(st.integers(-32768, 32767), min_size=4, max_size=4))
+            for __ in rows
+        ]
+        stream_b = [pack_lanes(r, ET.INT16) for r in rows_b]
+        got = execute_mom("vaddsw", stream_a, stream_b)
+        expected = [execute_mmx("paddsw", a, b) for a, b in zip(stream_a, stream_b)]
+        assert got == expected
+
+    def test_stream_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            execute_mom("vaddw", [0, 0], [0])
+
+    def test_non_stream_mnemonic_rejected(self):
+        with pytest.raises(KeyError):
+            execute_mom("paddw", [0], [0])
+
+
+class TestPackedAccumulator:
+    def test_madd_accumulates_products(self):
+        acc = PackedAccumulator()
+        a = pack_lanes([100, -100, 2, 3], ET.INT16)
+        b = pack_lanes([50, 50, 2, 3], ET.INT16)
+        acc.madd_stream([a, a], [b, b])
+        assert acc.lanes == [10000, -10000, 8, 18]
+
+    def test_sad_stream_accumulates(self):
+        acc = PackedAccumulator()
+        a = pack_lanes([10] * 8, ET.UINT8)
+        b = pack_lanes([7] * 8, ET.UINT8)
+        acc.sad_stream([a, a, a], [b, b, b])
+        assert acc.lanes[0] == 3 * 8 * 3
+
+    def test_clear(self):
+        acc = PackedAccumulator()
+        acc.add_stream([pack_lanes([1, 1, 1, 1], ET.INT16)])
+        acc.clear()
+        assert acc.lanes == [0, 0, 0, 0]
+
+    def test_read_saturates(self):
+        acc = PackedAccumulator()
+        acc.lanes = [1 << 40, -(1 << 40), 5, -5]
+        out = unpack_lanes(acc.read(ET.INT32), ET.INT32)
+        assert out == [(1 << 31) - 1, -(1 << 31)]
+
+    @given(st.lists(i16x4, min_size=1, max_size=16))
+    def test_add_then_sub_cancels(self, rows):
+        acc = PackedAccumulator()
+        words = [pack_lanes(r, ET.INT16) for r in rows]
+        acc.add_stream(words, sign=1)
+        acc.add_stream(words, sign=-1)
+        assert acc.lanes == [0, 0, 0, 0]
+
+
+class TestPermuteAndExtract:
+    @given(i16x4, st.integers(0, 255))
+    def test_pshufw_selects_lanes(self, xs, imm):
+        a = pack_lanes(xs, ET.INT16)
+        out = unpack_lanes(execute_mmx("pshufw", a, imm=imm), ET.INT16)
+        for i in range(4):
+            assert out[i] == xs[(imm >> (2 * i)) & 3]
+
+    def test_pshufw_identity(self):
+        a = pack_lanes([1, 2, 3, 4], ET.INT16)
+        assert execute_mmx("pshufw", a, imm=0b11_10_01_00) == a
+
+    @given(st.lists(st.integers(-128, 127), min_size=8, max_size=8))
+    def test_pmovmskb_sign_bits(self, xs):
+        a = pack_lanes(xs, ET.INT8)
+        mask = execute_mmx("pmovmskb", a)
+        for i, x in enumerate(xs):
+            assert bool(mask & (1 << i)) == (x < 0)
+
+    @given(i16x4, st.integers(0, 3))
+    def test_pextrw_reads_lane(self, xs, index):
+        from repro.isa.datatypes import to_unsigned
+
+        a = pack_lanes(xs, ET.INT16)
+        assert execute_mmx("pextrw", a, imm=index) == to_unsigned(xs[index], 16)
+
+    @given(i16x4, st.integers(0, 65535), st.integers(0, 3))
+    def test_pinsrw_writes_one_lane(self, xs, value, index):
+        from repro.isa.semantics import pinsrw
+
+        a = pack_lanes(xs, ET.INT16)
+        out = unpack_lanes(pinsrw(a, value, index), ET.UINT16)
+        for i in range(4):
+            if i == index:
+                assert out[i] == value
+            else:
+                assert out[i] == unpack_lanes(a, ET.UINT16)[i]

@@ -1,0 +1,177 @@
+"""End-to-end tests for the JPEG and GSM codec pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gsm import FRAME_SIZE, preprocess
+from repro.kernels.gsm_codec import (
+    GsmDecoder,
+    GsmEncoder,
+    _analysis_filter,
+    _direct_form_coefficients,
+    _synthesis_filter,
+    segmental_snr,
+    synthetic_speech,
+)
+from repro.kernels.jpeg_codec import (
+    JpegCodec,
+    image_psnr,
+    synthetic_image,
+)
+
+
+class TestJpegCodec:
+    @pytest.fixture(scope="class")
+    def grey(self):
+        return synthetic_image(48, 56)
+
+    def test_grey_roundtrip_quality(self, grey):
+        codec = JpegCodec(quality=80)
+        decoded = codec.decode(codec.encode(grey))
+        assert decoded.shape == grey.shape
+        assert image_psnr(grey, decoded) > 28.0
+
+    def test_compression_actually_compresses(self, grey):
+        encoded = JpegCodec(quality=60).encode(grey)
+        assert encoded.compression_ratio() > 2.0
+
+    def test_quality_tradeoff(self, grey):
+        low = JpegCodec(quality=20)
+        high = JpegCodec(quality=90)
+        enc_low, enc_high = low.encode(grey), high.encode(grey)
+        assert enc_low.total_bits < enc_high.total_bits
+        psnr_low = image_psnr(grey, low.decode(enc_low))
+        psnr_high = image_psnr(grey, high.decode(enc_high))
+        assert psnr_high > psnr_low
+
+    def test_color_roundtrip(self):
+        rgb = synthetic_image(40, 44, color=True)
+        codec = JpegCodec(quality=85)
+        decoded = codec.decode(codec.encode(rgb))
+        assert decoded.shape == rgb.shape
+        assert image_psnr(rgb, decoded) > 24.0
+
+    def test_non_multiple_of_8_dimensions(self):
+        image = synthetic_image(43, 51)
+        codec = JpegCodec(quality=75)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == (43, 51)
+
+    def test_flat_image_codes_tiny(self):
+        flat = np.full((32, 32), 128, dtype=np.uint8)
+        encoded = JpegCodec(quality=75).encode(flat)
+        assert encoded.compression_ratio() > 20.0
+        decoded = JpegCodec(quality=75).decode(encoded)
+        assert np.abs(decoded.astype(int) - 128).max() <= 2
+
+    def test_missing_codec_rejected(self):
+        encoded = JpegCodec().encode(synthetic_image(16, 16))
+        encoded.codec = None
+        with pytest.raises(ValueError):
+            JpegCodec().decode(encoded)
+
+
+class TestLpcFilters:
+    def test_step_up_known_values(self):
+        # Single reflection coefficient: A(z) = 1 + k z^-1.
+        a = _direct_form_coefficients(np.array([0.5]))
+        assert a == pytest.approx([0.5])
+
+    def test_analysis_synthesis_inverse(self):
+        rng = np.random.default_rng(2)
+        refl = np.array([0.4, -0.3, 0.2, -0.1])
+        signal = rng.normal(0, 100, 300)
+        back = _synthesis_filter(_analysis_filter(signal, refl), refl)
+        assert np.abs(back - signal).max() < 1e-8
+
+    def test_levinson_recovers_ar2(self):
+        from repro.kernels.gsm import autocorrelation, reflection_coefficients
+
+        rng = np.random.default_rng(0)
+        n = 4000
+        signal = np.zeros(n)
+        for i in range(2, n):
+            signal[i] = 0.9 * signal[i - 1] - 0.5 * signal[i - 2] + rng.normal()
+        quantized = np.round(signal * 100).astype(np.int64)
+        refl = reflection_coefficients(autocorrelation(quantized, 4), 4)
+        a = _direct_form_coefficients(refl)
+        assert a[0] == pytest.approx(-0.9, abs=0.05)
+        assert a[1] == pytest.approx(0.5, abs=0.05)
+        assert abs(a[2]) < 0.05 and abs(a[3]) < 0.05
+
+    def test_whitening_reduces_prediction_error(self):
+        from repro.kernels.gsm import autocorrelation, reflection_coefficients
+
+        rng = np.random.default_rng(1)
+        n = 1000
+        signal = np.zeros(n)
+        for i in range(1, n):
+            signal[i] = 0.85 * signal[i - 1] + rng.normal(0, 50)
+        quantized = np.round(signal).astype(np.int64)
+        refl = reflection_coefficients(autocorrelation(quantized))
+        residual = _analysis_filter(quantized.astype(float), refl)
+        assert np.dot(residual, residual) < 0.5 * np.dot(quantized, quantized)
+
+
+class TestGsmCodec:
+    @pytest.fixture(scope="class")
+    def coded(self):
+        speech = synthetic_speech(6)
+        encoder, decoder = GsmEncoder(), GsmDecoder()
+        frames, recon = [], []
+        for i in range(6):
+            frame = encoder.encode_frame(
+                speech[i * FRAME_SIZE : (i + 1) * FRAME_SIZE]
+            )
+            frames.append(frame)
+            recon.append(decoder.decode_frame(frame))
+        return speech, frames, np.concatenate(recon)
+
+    def test_reconstruction_quality(self, coded):
+        speech, __, recon = coded
+        # Skip the first frame: filters and LTP history are still filling.
+        assert segmental_snr(speech[FRAME_SIZE:], recon[FRAME_SIZE:]) > 6.0
+
+    def test_output_is_16_bit(self, coded):
+        __, __, recon = coded
+        assert recon.max() <= 32767 and recon.min() >= -32768
+
+    def test_lags_in_legal_range(self, coded):
+        __, frames, __ = coded
+        for frame in frames:
+            for sub in frame.subframes:
+                assert 40 <= sub.lag <= 120
+
+    def test_reflection_coefficients_stable(self, coded):
+        __, frames, __ = coded
+        for frame in frames:
+            assert np.all(np.abs(frame.reflection) < 1.0)
+
+    def test_frame_length_validated(self):
+        with pytest.raises(ValueError):
+            GsmEncoder().encode_frame(np.zeros(100))
+
+    def test_decoder_rejects_corrupt_lag(self, coded):
+        __, frames, __ = coded
+        bad = frames[0]
+        bad.subframes[0].lag = 999
+        with pytest.raises(ValueError):
+            GsmDecoder().decode_frame(bad)
+
+    def test_voiced_speech_locks_stable_lag(self):
+        # On a periodic signal the LTP should lock onto one stable lag
+        # once its history fills (the exact value depends on where the
+        # unnormalized correlation peaks in the residual domain).
+        from collections import Counter
+
+        speech = synthetic_speech(4)
+        encoder = GsmEncoder()
+        lags = []
+        for i in range(4):
+            frame = encoder.encode_frame(
+                speech[i * FRAME_SIZE : (i + 1) * FRAME_SIZE]
+            )
+            lags.extend(sub.lag for sub in frame.subframes)
+        steady = lags[4:]
+        __, count = Counter(steady).most_common(1)[0]
+        assert count >= len(steady) // 2

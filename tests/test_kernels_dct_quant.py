@@ -1,0 +1,154 @@
+"""Tests for DCT, quantization and colour-conversion kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.color import (
+    downsample_420,
+    rgb_to_ycbcr,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.kernels.dct import (
+    BLOCK,
+    blocks_of,
+    dct2d,
+    fdct_fixed,
+    idct2d,
+    idct_fixed,
+)
+from repro.kernels.quant import (
+    JPEG_LUMA_QTABLE,
+    dequantize,
+    quantize,
+    quantize_packed,
+    scale_qtable,
+)
+
+rng = np.random.default_rng(42)
+
+block8 = st.integers(0, 2**32 - 1).map(
+    lambda seed: np.random.default_rng(seed).integers(-128, 128, (8, 8))
+)
+
+
+class TestFloatDct:
+    def test_dc_of_constant_block(self):
+        block = np.full((8, 8), 100.0)
+        coeffs = dct2d(block)
+        assert coeffs[0, 0] == pytest.approx(800.0)
+        assert np.abs(coeffs).sum() == pytest.approx(800.0)
+
+    def test_roundtrip(self):
+        block = rng.integers(-128, 128, (8, 8)).astype(float)
+        assert np.allclose(idct2d(dct2d(block)), block, atol=1e-9)
+
+    def test_parseval_energy_preserved(self):
+        block = rng.integers(-128, 128, (8, 8)).astype(float)
+        coeffs = dct2d(block)
+        assert np.sum(block**2) == pytest.approx(np.sum(coeffs**2))
+
+    def test_linear(self):
+        a = rng.integers(-128, 128, (8, 8)).astype(float)
+        b = rng.integers(-128, 128, (8, 8)).astype(float)
+        assert np.allclose(dct2d(a + b), dct2d(a) + dct2d(b))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            dct2d(np.zeros((4, 4)))
+
+
+class TestFixedDct:
+    @given(block8)
+    @settings(max_examples=30)
+    def test_matches_float_dct(self, block):
+        fixed = fdct_fixed(block)
+        ref = dct2d(block.astype(float))
+        assert np.abs(fixed - ref).max() <= 2.0
+
+    @given(block8)
+    @settings(max_examples=30)
+    def test_roundtrip_within_rounding(self, block):
+        recon = idct_fixed(fdct_fixed(block))
+        assert np.abs(recon - block).max() <= 2
+
+    def test_blocks_of_tiles_image(self):
+        image = rng.integers(0, 256, (16, 24))
+        tiles = list(blocks_of(image))
+        assert len(tiles) == (16 // BLOCK) * (24 // BLOCK)
+        y, x, tile = tiles[0]
+        assert (y, x) == (0, 0)
+        assert tile.shape == (BLOCK, BLOCK)
+
+    def test_blocks_of_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            list(blocks_of(np.zeros((10, 16))))
+
+
+class TestQuantization:
+    def test_quantize_dequantize_bounded_error(self):
+        coeffs = rng.integers(-1000, 1000, (8, 8))
+        levels = quantize(coeffs, JPEG_LUMA_QTABLE)
+        recon = dequantize(levels, JPEG_LUMA_QTABLE)
+        assert np.abs(recon - coeffs).max() <= JPEG_LUMA_QTABLE.max() // 2 + 1
+
+    def test_quantize_zero_is_zero(self):
+        assert quantize(np.zeros((8, 8), dtype=np.int64), JPEG_LUMA_QTABLE).sum() == 0
+
+    def test_quantize_sign_symmetry(self):
+        coeffs = rng.integers(-1000, 1000, (8, 8))
+        assert np.array_equal(
+            quantize(coeffs, JPEG_LUMA_QTABLE),
+            -quantize(-coeffs, JPEG_LUMA_QTABLE),
+        )
+
+    def test_scale_qtable_quality_extremes(self):
+        q1 = scale_qtable(JPEG_LUMA_QTABLE, 1)
+        q100 = scale_qtable(JPEG_LUMA_QTABLE, 100)
+        assert (q1 >= JPEG_LUMA_QTABLE).all()
+        assert (q100 == 1).all()
+
+    def test_scale_qtable_rejects_bad_quality(self):
+        with pytest.raises(ValueError):
+            scale_qtable(JPEG_LUMA_QTABLE, 0)
+
+    def test_packed_quantizer_close_to_reference(self):
+        coeffs = rng.integers(-2000, 2000, (8, 8))
+        ref = quantize(coeffs, JPEG_LUMA_QTABLE)
+        packed = quantize_packed(coeffs, JPEG_LUMA_QTABLE)
+        # Truncating fixed-point quantizer: off by at most one level.
+        assert np.abs(packed - ref).max() <= 1
+
+
+class TestColor:
+    def test_roundtrip_close(self):
+        image = rng.integers(0, 256, (16, 16, 3)).astype(np.uint8)
+        back = ycbcr_to_rgb(rgb_to_ycbcr(image))
+        assert np.abs(back.astype(int) - image.astype(int)).max() <= 3
+
+    def test_grey_has_neutral_chroma(self):
+        grey = np.full((4, 4, 3), 128, dtype=np.uint8)
+        ycc = rgb_to_ycbcr(grey)
+        assert np.all(ycc[..., 0] == 128)
+        assert np.all(np.abs(ycc[..., 1].astype(int) - 128) <= 1)
+        assert np.all(np.abs(ycc[..., 2].astype(int) - 128) <= 1)
+
+    def test_luma_ordering(self):
+        dark = rgb_to_ycbcr(np.full((1, 1, 3), 10, dtype=np.uint8))
+        bright = rgb_to_ycbcr(np.full((1, 1, 3), 240, dtype=np.uint8))
+        assert bright[0, 0, 0] > dark[0, 0, 0]
+
+    def test_downsample_upsample_shapes(self):
+        plane = rng.integers(0, 256, (16, 24)).astype(np.uint8)
+        down = downsample_420(plane)
+        assert down.shape == (8, 12)
+        assert upsample_420(down).shape == (16, 24)
+
+    def test_downsample_constant_plane(self):
+        plane = np.full((8, 8), 77, dtype=np.uint8)
+        assert np.all(downsample_420(plane) == 77)
+
+    def test_downsample_rejects_odd(self):
+        with pytest.raises(ValueError):
+            downsample_420(np.zeros((7, 8)))

@@ -1,0 +1,236 @@
+"""Tests for motion estimation, filters, GSM and entropy-coding kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.blockmatch import (
+    full_search,
+    motion_compensate,
+    sad_block,
+    sad_block_mmx,
+    sad_block_packed,
+    three_step_search,
+)
+from repro.kernels.fir import fir_filter, fir_filter_packed, iir_biquad
+from repro.kernels.gsm import (
+    LPC_ORDER,
+    autocorrelation,
+    ltp_search,
+    ltp_search_packed,
+    preprocess,
+    reflection_coefficients,
+    synthesize,
+)
+from repro.kernels.jpeg import (
+    HuffmanCodec,
+    ZIGZAG_ORDER,
+    inverse_zigzag,
+    rle_decode,
+    rle_encode,
+    zigzag,
+)
+
+rng = np.random.default_rng(7)
+
+
+class TestSad:
+    def test_sad_zero_for_identical(self):
+        block = rng.integers(0, 256, (16, 16))
+        assert sad_block(block, block) == 0
+
+    def test_sad_matches_packed_and_mmx(self):
+        a = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        b = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        reference = sad_block(a, b)
+        assert sad_block_packed(a, b) == reference
+        assert sad_block_mmx(a, b) == reference
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_sad_triangle_inequality(self, seed):
+        r = np.random.default_rng(seed)
+        a = r.integers(0, 256, (8, 8))
+        b = r.integers(0, 256, (8, 8))
+        c = r.integers(0, 256, (8, 8))
+        assert sad_block(a, c) <= sad_block(a, b) + sad_block(b, c)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sad_block(np.zeros((8, 8)), np.zeros((16, 16)))
+
+
+class TestMotionSearch:
+    def _shifted_frames(self, dy, dx):
+        reference = rng.integers(0, 256, (64, 64))
+        current = np.roll(np.roll(reference, dy, axis=0), dx, axis=1)
+        return current, reference
+
+    def test_full_search_recovers_known_shift(self):
+        # np.roll(ref, +2) moves content down: current[y] == ref[y-2], so
+        # the best match lies at displacement (-2, +3).
+        current, reference = self._shifted_frames(2, -3)
+        (dy, dx), sad = full_search(current, reference, 16, 16, search_range=4)
+        assert (dy, dx) == (-2, 3)
+        assert sad == 0
+
+    def test_full_search_zero_motion(self):
+        frame = rng.integers(0, 256, (32, 32))
+        (dy, dx), sad = full_search(frame, frame, 8, 8, search_range=3)
+        assert (dy, dx) == (0, 0) and sad == 0
+
+    def test_three_step_finds_good_match(self):
+        current, reference = self._shifted_frames(1, 2)
+        __, sad_tss = three_step_search(current, reference, 16, 16)
+        __, sad_full = full_search(current, reference, 16, 16, search_range=7)
+        assert sad_tss >= sad_full           # full search is optimal
+        assert sad_full == 0
+
+    def test_motion_compensate_reconstructs_shift(self):
+        current, reference = self._shifted_frames(0, 1)
+        vectors = {}
+        for by in range(16, 32, 16):
+            for bx in range(16, 32, 16):
+                vectors[(by, bx)], __ = full_search(
+                    current, reference, by, bx, search_range=2
+                )
+        predicted = motion_compensate(reference, vectors)
+        region = predicted[16:32, 16:32]
+        assert np.array_equal(region, current[16:32, 16:32])
+
+
+class TestFilters:
+    def test_fir_impulse_response_is_taps(self):
+        taps = [1000, 2000, 3000]
+        impulse = np.zeros(8)
+        impulse[0] = 1 << 15
+        out = fir_filter(impulse, taps, shift=15)
+        assert list(out[:3]) == taps
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_fir_packed_matches_scalar(self, seed):
+        r = np.random.default_rng(seed)
+        samples = r.integers(-2000, 2000, 40)
+        taps = r.integers(-10000, 10000, r.integers(1, 9))
+        assert np.array_equal(
+            fir_filter(samples, taps), fir_filter_packed(samples, taps)
+        )
+
+    def test_fir_output_saturated_to_16_bits(self):
+        samples = np.full(10, 32767)
+        taps = [32767, 32767, 32767, 32767]
+        out = fir_filter(samples, taps, shift=0)
+        assert out.max() <= 32767
+
+    def test_biquad_passthrough(self):
+        samples = rng.integers(-1000, 1000, 32)
+        out = iir_biquad(samples, (1 << 14, 0, 0), (0, 0), shift=14)
+        assert np.array_equal(out, samples)
+
+    def test_biquad_is_stateful_lowpass(self):
+        # Simple averaging biquad attenuates an alternating signal.
+        alternating = np.array([1000, -1000] * 32)
+        out = iir_biquad(alternating, (4096, 8192, 4096), (0, 0), shift=14)
+        assert np.abs(out[4:]).max() < 200
+
+
+class TestGsm:
+    def test_preprocess_removes_dc(self):
+        # The offset-compensation pole is at 32735/32768, so the DC step
+        # decays with a ~1000-sample time constant.
+        samples = np.full(4000, 1200)
+        out = preprocess(samples)
+        assert abs(int(out[-40:].mean())) < 60
+
+    def test_autocorrelation_r0_is_energy(self):
+        samples = rng.integers(-1000, 1000, 160)
+        acf = autocorrelation(samples)
+        assert acf[0] == int(np.dot(samples, samples))
+        assert len(acf) == LPC_ORDER + 1
+
+    def test_autocorrelation_peak_at_zero_lag(self):
+        samples = rng.integers(-1000, 1000, 160)
+        acf = autocorrelation(samples)
+        assert acf[0] >= np.abs(acf[1:]).max()
+
+    def test_reflection_coefficients_bounded(self):
+        samples = rng.integers(-1000, 1000, 160)
+        refl = reflection_coefficients(autocorrelation(samples))
+        assert np.all(np.abs(refl) < 1.0)
+
+    def test_reflection_of_silence_is_zero(self):
+        assert np.all(reflection_coefficients(np.zeros(9)) == 0)
+
+    def test_ltp_search_finds_periodic_lag(self):
+        period = 55
+        n = 300
+        wave = (1000 * np.sin(2 * np.pi * np.arange(n) / period)).astype(int)
+        sub = wave[-40:]
+        lag, __ = ltp_search(sub, wave)
+        assert lag % period in (0, period - 1, 1) or abs(lag - period) <= 1
+
+    def test_ltp_packed_matches_scalar(self):
+        history = rng.integers(-3000, 3000, 240)
+        sub = history[-40:]
+        assert ltp_search(sub, history)[0] == ltp_search_packed(sub, history)[0]
+
+    def test_synthesize_zero_reflection_identity(self):
+        residual = rng.integers(-100, 100, 80).astype(float)
+        out = synthesize(residual, np.zeros(8))
+        assert np.allclose(out, residual)
+
+
+class TestEntropy:
+    def test_zigzag_order_covers_all_positions(self):
+        assert sorted(ZIGZAG_ORDER) == [(y, x) for y in range(8) for x in range(8)]
+
+    def test_zigzag_roundtrip(self):
+        block = rng.integers(-100, 100, (8, 8))
+        assert np.array_equal(inverse_zigzag(zigzag(block)), block)
+
+    def test_zigzag_starts_dc_then_neighbours(self):
+        assert ZIGZAG_ORDER[0] == (0, 0)
+        assert set(ZIGZAG_ORDER[1:3]) == {(0, 1), (1, 0)}
+
+    @given(st.lists(st.integers(-255, 255), min_size=64, max_size=64))
+    @settings(max_examples=30)
+    def test_rle_roundtrip(self, values):
+        flat = np.array(values)
+        assert np.array_equal(rle_decode(rle_encode(flat)), flat)
+
+    def test_rle_long_zero_runs_use_zrl(self):
+        flat = np.zeros(64, dtype=np.int64)
+        flat[40] = 5
+        pairs = rle_encode(flat)
+        assert (15, 0) in pairs           # ZRL symbols for the 40-zero run
+        assert pairs[-1] == (0, 0)
+
+    def test_huffman_roundtrip(self):
+        symbols = [1, 1, 1, 2, 2, 3, 4, 4, 4, 4]
+        codec = HuffmanCodec.from_symbols(symbols)
+        bits = codec.encode(symbols)
+        assert codec.decode(bits) == symbols
+
+    def test_huffman_frequent_symbols_shorter(self):
+        symbols = [0] * 100 + [1] * 10 + [2]
+        codec = HuffmanCodec.from_symbols(symbols)
+        assert len(codec.code[0]) <= len(codec.code[1]) <= len(codec.code[2])
+
+    def test_huffman_single_symbol(self):
+        codec = HuffmanCodec.from_symbols(["x"])
+        assert codec.decode(codec.encode(["x", "x"])) == ["x", "x"]
+
+    def test_huffman_rejects_dangling_prefix(self):
+        codec = HuffmanCodec.from_symbols([1, 1, 1, 2, 2, 3])
+        longest = max(codec.code.values(), key=len)
+        assert len(longest) >= 2
+        # A proper prefix of a codeword is an internal tree node, never a
+        # complete symbol — decoding must reject the dangling bits.
+        with pytest.raises(ValueError):
+            codec.decode(codec.encode([1, 2, 3]) + longest[:-1])
+
+    def test_mean_code_length_beats_fixed_for_skewed(self):
+        freqs = {0: 90, 1: 5, 2: 3, 3: 2}
+        codec = HuffmanCodec(freqs)
+        assert codec.mean_code_length(freqs) < 2.0

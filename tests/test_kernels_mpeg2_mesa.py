@@ -1,0 +1,150 @@
+"""Tests for the MPEG-2 mini-codec and the Mesa-like 3D pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.mesa3d import (
+    Vertex,
+    look_at,
+    perspective,
+    perspective_divide,
+    rasterize_triangle,
+    render_mesh,
+    transform_vertices,
+)
+from repro.kernels.mpeg2 import (
+    Mpeg2Decoder,
+    Mpeg2Encoder,
+    psnr,
+    synthetic_video,
+)
+
+
+class TestMpeg2Codec:
+    @pytest.fixture(scope="class")
+    def roundtrip(self):
+        frames = synthetic_video(6, 32, 32)
+        encoder = Mpeg2Encoder(quality=75, gop=3, search_range=3)
+        decoder = Mpeg2Decoder(quality=75)
+        encoded, decoded = [], []
+        for frame in frames:
+            e = encoder.encode_frame(frame)
+            encoded.append(e)
+            decoded.append(decoder.decode_frame(e))
+        return frames, encoded, decoded
+
+    def test_gop_pattern(self, roundtrip):
+        __, encoded, __ = roundtrip
+        assert [e.frame_type for e in encoded] == ["I", "P", "P", "I", "P", "P"]
+
+    def test_reconstruction_quality(self, roundtrip):
+        frames, __, decoded = roundtrip
+        for original, recon in zip(frames, decoded):
+            assert psnr(original, recon) > 24.0
+
+    def test_p_frames_have_motion_vectors(self, roundtrip):
+        __, encoded, __ = roundtrip
+        p_frames = [e for e in encoded if e.frame_type == "P"]
+        assert all(e.motion_vectors for e in p_frames)
+        i_frames = [e for e in encoded if e.frame_type == "I"]
+        assert all(not e.motion_vectors for e in i_frames)
+
+    def test_decoder_requires_i_frame_first(self, roundtrip):
+        __, encoded, __ = roundtrip
+        fresh = Mpeg2Decoder(quality=75)
+        p_frame = next(e for e in encoded if e.frame_type == "P")
+        with pytest.raises(ValueError):
+            fresh.decode_frame(p_frame)
+
+    def test_residual_coding_smaller_than_intra(self, roundtrip):
+        __, encoded, __ = roundtrip
+        def coded_symbols(e):
+            return sum(len(block) for block in e.blocks)
+        intra = coded_symbols(encoded[0])
+        inter = coded_symbols(encoded[1])
+        assert inter < intra          # P residuals are cheaper than I blocks
+
+    def test_frame_dims_validated(self):
+        encoder = Mpeg2Encoder()
+        with pytest.raises(ValueError):
+            encoder.encode_frame(np.zeros((30, 32)))
+
+    def test_psnr_perfect_is_infinite(self):
+        frame = np.full((8, 8), 42, dtype=np.uint8)
+        assert psnr(frame, frame) == float("inf")
+
+    def test_synthetic_video_deterministic(self):
+        a = synthetic_video(3, 16, 16, seed=5)
+        b = synthetic_video(3, 16, 16, seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestMesa3d:
+    def test_lookat_maps_center_to_negative_z(self):
+        view = look_at([0, 0, 5], [0, 0, 0], [0, 1, 0])
+        center = view @ np.array([0.0, 0.0, 0.0, 1.0])
+        assert center[2] == pytest.approx(-5.0)
+
+    def test_perspective_validates_planes(self):
+        with pytest.raises(ValueError):
+            perspective(60, 1.0, 2.0, 1.0)
+
+    def test_transform_identity(self):
+        vertices = [Vertex((1.0, 2.0, 3.0, 1.0))]
+        out = transform_vertices(vertices, np.eye(4))
+        assert out[0].position == (1.0, 2.0, 3.0, 1.0)
+
+    def test_perspective_divide_drops_behind_eye(self):
+        vertices = [
+            Vertex((0.0, 0.0, 0.0, 1.0)),
+            Vertex((0.0, 0.0, 0.0, -1.0)),   # behind the eye
+        ]
+        screen = perspective_divide(vertices, 64, 64)
+        assert len(screen) == 1
+
+    def test_perspective_divide_centers_origin(self):
+        screen = perspective_divide([Vertex((0.0, 0.0, 0.0, 1.0))], 65, 65)
+        x, y, __, __ = screen[0]
+        assert (x, y) == (32.0, 32.0)
+
+    def test_rasterize_covers_half_square(self):
+        fb = np.zeros((16, 16, 3), dtype=np.uint8)
+        zb = np.full((16, 16), np.inf)
+        written = rasterize_triangle(
+            fb, zb,
+            (0.0, 0.0, 0.5, (1, 0, 0)),
+            (15.0, 0.0, 0.5, (1, 0, 0)),
+            (0.0, 15.0, 0.5, (1, 0, 0)),
+        )
+        assert 90 <= written <= 140       # ~half of 256 pixels
+
+    def test_zbuffer_keeps_nearer_triangle(self):
+        fb = np.zeros((8, 8, 3), dtype=np.uint8)
+        zb = np.full((8, 8), np.inf)
+        tri = [(0.0, 0.0), (7.0, 0.0), (0.0, 7.0)]
+        rasterize_triangle(
+            fb, zb, *[(x, y, 0.9, (1, 0, 0)) for x, y in tri]
+        )
+        rasterize_triangle(
+            fb, zb, *[(x, y, 0.1, (0, 1, 0)) for x, y in tri]
+        )
+        assert fb[1, 1, 1] > 0            # green (nearer) wins
+        assert fb[1, 1, 0] == 0
+
+    def test_degenerate_triangle_writes_nothing(self):
+        fb = np.zeros((8, 8, 3), dtype=np.uint8)
+        zb = np.full((8, 8), np.inf)
+        p = (2.0, 2.0, 0.5, (1, 1, 1))
+        assert rasterize_triangle(fb, zb, p, p, p) == 0
+
+    def test_render_mesh_end_to_end(self):
+        view = look_at([0, 0, 3], [0, 0, 0], [0, 1, 0])
+        proj = perspective(60, 1.0, 0.1, 10.0)
+        vertices = [
+            Vertex((-0.5, -0.5, 0.0, 1.0), (1, 0, 0)),
+            Vertex((0.5, -0.5, 0.0, 1.0), (0, 1, 0)),
+            Vertex((0.0, 0.5, 0.0, 1.0), (0, 0, 1)),
+        ]
+        fb, written = render_mesh(vertices, [(0, 1, 2)], proj @ view, 32, 32)
+        assert written > 20
+        assert fb.any()

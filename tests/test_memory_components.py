@@ -1,0 +1,182 @@
+"""Unit tests for the memory-hierarchy building blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.dram import RambusChannel
+from repro.memory.mshr import MshrFile
+from repro.memory.sram import TagArray
+from repro.memory.writebuffer import WriteBuffer
+
+
+class TestTagArray:
+    def test_miss_then_hit(self):
+        tags = TagArray(64, 1)
+        assert not tags.lookup(5)
+        tags.fill(5)
+        assert tags.lookup(5)
+
+    def test_direct_mapped_conflict(self):
+        tags = TagArray(64, 1)
+        tags.fill(5)
+        tags.fill(5 + 64)         # same set, different tag
+        assert not tags.lookup(5)
+        assert tags.lookup(5 + 64)
+
+    def test_two_way_keeps_both(self):
+        tags = TagArray(64, 2)
+        tags.fill(5)
+        tags.fill(5 + 64)
+        assert tags.lookup(5)
+        assert tags.lookup(5 + 64)
+
+    def test_lru_evicts_least_recent(self):
+        tags = TagArray(1, 2)
+        tags.fill(0)
+        tags.fill(1)
+        tags.lookup(0)            # touch 0 -> 1 becomes LRU
+        victim = tags.fill(2)
+        assert victim == (1, False)
+        assert tags.lookup(0) and tags.lookup(2) and not tags.lookup(1)
+
+    def test_fill_existing_returns_none(self):
+        tags = TagArray(8, 2)
+        tags.fill(3)
+        assert tags.fill(3) is None
+
+    def test_dirty_eviction_reported(self):
+        tags = TagArray(1, 1)
+        tags.fill(7, dirty=True)
+        victim = tags.fill(8)
+        assert victim == (7, True)
+
+    def test_mark_dirty(self):
+        tags = TagArray(8, 1)
+        tags.fill(2)
+        assert tags.mark_dirty(2)
+        assert not tags.mark_dirty(99)
+        assert tags.fill(2 + 8) == (2, True)
+
+    def test_invalidate(self):
+        tags = TagArray(8, 1)
+        tags.fill(2)
+        assert tags.invalidate(2)
+        assert not tags.lookup(2)
+        assert not tags.invalidate(2)
+
+    def test_power_of_two_sets_required(self):
+        with pytest.raises(ValueError):
+            TagArray(48, 1)
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+    @settings(max_examples=25)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        tags = TagArray(16, 2)
+        for line in lines:
+            tags.fill(line)
+        assert tags.occupancy() <= 16 * 2
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(max_examples=25)
+    def test_most_recent_fill_always_present(self, lines):
+        tags = TagArray(16, 2)
+        for line in lines:
+            tags.fill(line)
+            assert tags.lookup(line, update_lru=False)
+
+
+class TestMshr:
+    def test_allocation_and_pending(self):
+        mshr = MshrFile(2)
+        mshr.allocate(10, fill_cycle=50, now=0)
+        assert mshr.pending_fill(10, now=5) == 50
+        assert mshr.pending_fill(10, now=50) is None   # fill completed
+        assert mshr.pending_fill(11, now=5) is None
+
+    def test_earliest_free_when_full(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, 30, 0)
+        mshr.allocate(2, 60, 0)
+        assert mshr.earliest_free(10) == 30
+        assert mshr.earliest_free(40) == 40   # entry 1 expired by then
+
+    def test_overflow_rejected(self):
+        mshr = MshrFile(1)
+        mshr.allocate(1, 100, 0)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(2, 100, 0)
+
+    def test_outstanding_counts_live_entries(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 20, 0)
+        mshr.allocate(2, 40, 0)
+        assert mshr.outstanding(10) == 2
+        assert mshr.outstanding(30) == 1
+        assert mshr.outstanding(50) == 0
+
+    def test_needs_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestWriteBuffer:
+    def test_coalescing_same_line(self):
+        wb = WriteBuffer(depth=4, drain_interval=4)
+        assert wb.push(7, now=0) == 0
+        assert wb.push(7, now=1) == 1     # coalesces, no new slot
+        assert wb.coalesced == 1
+        assert wb.occupancy(1) == 1
+
+    def test_full_buffer_stalls_store(self):
+        wb = WriteBuffer(depth=2, drain_interval=100)
+        wb.push(1, 0)
+        wb.push(2, 0)
+        accepted = wb.push(3, 1)
+        assert accepted > 1               # had to wait for a drain
+        assert wb.full_stalls == 1
+
+    def test_selective_flush_reports_drain_time(self):
+        wb = WriteBuffer(depth=4, drain_interval=10)
+        wb.push(5, now=0)
+        assert wb.flush_line(5, now=3) >= 3
+        assert wb.flush_line(99, now=3) == 3   # not buffered
+
+    def test_drain_rate_spaced(self):
+        wb = WriteBuffer(depth=8, drain_interval=5)
+        wb.push(1, 0)
+        wb.push(2, 0)
+        t1 = wb.flush_line(1, 0)
+        t2 = wb.flush_line(2, 0)
+        assert abs(t2 - t1) >= 5
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(depth=0)
+
+
+class TestRambus:
+    def test_latency_plus_transfer(self):
+        chan = RambusChannel(latency=60, bytes_per_cycle=4)
+        done = chan.access(now=0, n_bytes=128)
+        assert done == 60 + 32
+
+    def test_bandwidth_queueing(self):
+        chan = RambusChannel(latency=60, bytes_per_cycle=4)
+        first = chan.access(0, 128)
+        second = chan.access(0, 128)
+        assert second == first + 32       # queued behind the first transfer
+
+    def test_idle_channel_no_queueing(self):
+        chan = RambusChannel(latency=60, bytes_per_cycle=4)
+        chan.access(0, 128)
+        later = chan.access(1000, 128)
+        assert later == 1000 + 60 + 32
+
+    def test_utilization(self):
+        chan = RambusChannel(latency=10, bytes_per_cycle=4)
+        chan.access(0, 128)
+        assert chan.utilization(64) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RambusChannel(latency=0)

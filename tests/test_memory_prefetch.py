@@ -1,0 +1,67 @@
+"""Tests for the stride prefetcher extension."""
+
+import pytest
+
+from repro.memory import ConventionalHierarchy
+from repro.memory.interface import AccessType as AT
+from repro.memory.prefetch import PrefetchingHierarchy, StridePrefetcher
+
+
+class TestStrideDetection:
+    def _hierarchy(self, depth=2):
+        return PrefetchingHierarchy(depth=depth)
+
+    def test_steady_stride_launches_prefetches(self):
+        m = self._hierarchy()
+        now = 0
+        # Miss every 32 bytes (one line per access) at a constant stride.
+        for i in range(8):
+            now = m.access(0, 0x100000 + 32 * i, AT.SCALAR_LOAD, now)
+        assert m.prefetcher.issued > 0
+
+    def test_prefetched_lines_hit_later(self):
+        m = self._hierarchy(depth=4)
+        plain = ConventionalHierarchy()
+        now_pf = now_pl = 0
+        hits_pf = hits_pl = 0
+        for i in range(64):
+            addr = 0x200000 + 32 * i
+            before = m.stats.l1.hits
+            now_pf = m.access(0, addr, AT.SCALAR_LOAD, now_pf)
+            hits_pf += m.stats.l1.hits - before
+            before = plain.stats.l1.hits
+            now_pl = plain.access(0, addr, AT.SCALAR_LOAD, now_pl)
+            hits_pl += plain.stats.l1.hits - before
+        assert hits_pf > hits_pl
+
+    def test_random_pattern_stays_quiet(self):
+        import random
+
+        rng = random.Random(5)
+        m = self._hierarchy()
+        now = 0
+        for __ in range(40):
+            addr = 0x300000 + 32 * rng.randrange(4096)
+            now = m.access(0, addr, AT.SCALAR_LOAD, now)
+        # Random misses never build stride confidence.
+        assert m.prefetcher.issued <= 2
+
+    def test_per_thread_streams_independent(self):
+        m = self._hierarchy()
+        now = 0
+        for i in range(6):
+            now = m.access(0, 0x400000 + 64 * i, AT.SCALAR_LOAD, now)
+            now = m.access(1, 0x800000 + 128 * i, AT.SCALAR_LOAD, now)
+        # Interleaving two different-stride threads still detects both.
+        assert m.prefetcher.issued > 0
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(ConventionalHierarchy().l1, depth=0)
+
+    def test_stores_do_not_train(self):
+        m = self._hierarchy()
+        now = 0
+        for i in range(8):
+            now = m.access(0, 0x500000 + 32 * i, AT.SCALAR_STORE, now)
+        assert m.prefetcher.issued == 0

@@ -1,0 +1,116 @@
+"""Property-based tests of memory-system invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import ConventionalHierarchy, DecoupledHierarchy
+from repro.memory.cache import CacheConfig
+from repro.memory.interface import AccessType as AT
+from repro.memory.sram import TagArray
+
+addresses = st.lists(
+    st.integers(0, (1 << 20) - 1).map(lambda a: a & ~0x7),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestCausality:
+    @given(addresses)
+    @settings(max_examples=30, deadline=None)
+    def test_completion_always_after_issue(self, addrs):
+        memory = ConventionalHierarchy()
+        now = 0
+        for addr in addrs:
+            done = memory.access(0, addr, AT.SCALAR_LOAD, now)
+            assert done > now
+            now = done
+
+    @given(addresses)
+    @settings(max_examples=20, deadline=None)
+    def test_decoupled_completion_after_issue(self, addrs):
+        memory = DecoupledHierarchy()
+        now = 0
+        for i, addr in enumerate(addrs):
+            kind = AT.VECTOR_LOAD if i % 3 == 0 else AT.SCALAR_LOAD
+            done = memory.access(0, addr, kind, now)
+            assert done > now
+            now = done
+
+    @given(addresses)
+    @settings(max_examples=20, deadline=None)
+    def test_hit_counters_consistent(self, addrs):
+        memory = ConventionalHierarchy()
+        now = 0
+        for addr in addrs:
+            now = memory.access(0, addr, AT.SCALAR_LOAD, now)
+        stats = memory.stats.l1
+        assert 0 <= stats.hits <= stats.accesses == len(addrs)
+        assert stats.misses == stats.accesses - stats.hits
+
+    @given(addresses)
+    @settings(max_examples=20, deadline=None)
+    def test_immediate_reuse_always_hits(self, addrs):
+        memory = ConventionalHierarchy()
+        now = 0
+        for addr in addrs:
+            now = memory.access(0, addr, AT.SCALAR_LOAD, now)
+            before = memory.stats.l1.hits
+            now = memory.access(0, addr, AT.SCALAR_LOAD, now)
+            assert memory.stats.l1.hits == before + 1
+
+
+class TestCacheGeometry:
+    @given(
+        st.sampled_from([1, 2, 4]),
+        st.lists(st.integers(0, 4095), min_size=1, max_size=400),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, assoc, lines):
+        tags = TagArray(64, assoc)
+        for line in lines:
+            tags.fill(line)
+        assert tags.occupancy() <= 64 * assoc
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_higher_associativity_never_evicts_sooner(self, lines):
+        """A 2-way cache retains at least every line a DM cache retains
+        under an identical reference stream ending in a probe."""
+        direct = TagArray(32, 1)
+        twoway = TagArray(32, 2)
+        for line in lines:
+            direct.fill(line)
+            twoway.fill(line)
+        # LRU inclusion property: the most recent fill per set survives
+        # in both; check the final reference specifically.
+        assert twoway.lookup(lines[-1], update_lru=False)
+        assert direct.lookup(lines[-1], update_lru=False)
+
+    def test_bigger_cache_fewer_misses_on_loop(self):
+        small = CacheConfig("s", size=4 << 10, assoc=1, line=32, banks=1, latency=1)
+        big = CacheConfig("b", size=64 << 10, assoc=1, line=32, banks=1, latency=1)
+        misses = {}
+        for label, config in (("small", small), ("big", big)):
+            memory = ConventionalHierarchy(l1_config=config)
+            now = 0
+            for __ in range(3):
+                for addr in range(0, 16 << 10, 32):   # 16 KB loop
+                    now = memory.access(0, addr, AT.SCALAR_LOAD, now)
+            misses[label] = memory.stats.l1.misses
+        assert misses["big"] < misses["small"]
+
+
+class TestThreadIsolationOfTranslation:
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, (1 << 24) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_same_thread_same_translation(self, t1, t2, addr):
+        from repro.memory.interface import physical_address
+
+        first = physical_address(t1, addr)
+        again = physical_address(t1, addr)
+        assert first == again
+        if t1 != t2:
+            # Different contexts map the same VA to different frames
+            # (with overwhelming probability for a correct hash).
+            other = physical_address(t2, addr)
+            assert (first >> 12) != (other >> 12) or t1 == t2

@@ -1,0 +1,176 @@
+"""Calibration tests: generated traces must reproduce the paper's Table 3."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.tracegen import (
+    WORKLOAD_MIXES,
+    build_program_trace,
+    predicted_counts,
+)
+from repro.tracegen.mixes import PAPER_MOM_MINSTS
+from repro.workloads.mediabench import WORKLOAD_ORDER
+
+SCALE = 2e-5   # shorter traces keep the suite fast; ratios are scale-free
+
+_INSTANCE_WEIGHTS = {"mpeg2dec": 2}
+
+
+@pytest.fixture(scope="module")
+def all_traces():
+    traces = {}
+    for name in WORKLOAD_MIXES:
+        traces[name] = {
+            isa: build_program_trace(name, isa, scale=SCALE)
+            for isa in ("mmx", "mom")
+        }
+    return traces
+
+
+class TestPerProgramCalibration:
+    def test_mmx_counts_match_prediction(self, all_traces):
+        for name, mix in WORKLOAD_MIXES.items():
+            generated = all_traces[name]["mmx"].expanded_length
+            predicted = predicted_counts(mix, "mmx")["total"] * 1e6 * SCALE
+            assert generated == pytest.approx(predicted, rel=0.02), name
+
+    def test_mom_counts_match_prediction(self, all_traces):
+        for name, mix in WORKLOAD_MIXES.items():
+            generated = all_traces[name]["mom"].expanded_length
+            predicted = predicted_counts(mix, "mom")["total"] * 1e6 * SCALE
+            assert generated == pytest.approx(predicted, rel=0.03), name
+
+    def test_mom_mmx_ratio_matches_paper_table3(self, all_traces):
+        for name, mix in WORKLOAD_MIXES.items():
+            ratio = (
+                all_traces[name]["mom"].expanded_length
+                / all_traces[name]["mmx"].expanded_length
+            )
+            paper = PAPER_MOM_MINSTS[name] / mix.mmx_minsts
+            # Short test-scale traces carry ~2-3 % emission quantization;
+            # at the default experiment scale the ratios land within 0.005.
+            assert ratio == pytest.approx(paper, abs=0.03), name
+
+    def test_mesa_identical_under_both_isas(self, all_traces):
+        mmx = all_traces["mesa"]["mmx"]
+        mom = all_traces["mesa"]["mom"]
+        assert mmx.expanded_length == mom.expanded_length
+        assert not any(inst.is_simd for inst in mom.instructions)
+
+    def test_class_fractions_match_mix(self, all_traces):
+        for name, mix in WORKLOAD_MIXES.items():
+            fractions = all_traces[name]["mmx"].class_fractions()
+            assert fractions["int"] == pytest.approx(mix.frac_int, abs=0.02)
+            assert fractions["simd"] == pytest.approx(mix.frac_simd, abs=0.02)
+            assert fractions["mem"] == pytest.approx(mix.frac_mem, abs=0.02)
+
+
+class TestAggregateCalibration:
+    """The paper's headline Table 3 facts, over the full 8-slot workload."""
+
+    @pytest.fixture(scope="class")
+    def aggregates(self, all_traces):
+        agg = {isa: {"int": 0, "fp": 0, "simd": 0, "mem": 0} for isa in ("mmx", "mom")}
+        for name in WORKLOAD_MIXES:
+            weight = _INSTANCE_WEIGHTS.get(name, 1)
+            for isa in ("mmx", "mom"):
+                for key, value in all_traces[name][isa].class_counts().items():
+                    agg[isa][key] += weight * value
+        return agg
+
+    def test_workload_is_integer_dominated_under_mmx(self, aggregates):
+        total = sum(aggregates["mmx"].values())
+        assert aggregates["mmx"]["int"] / total == pytest.approx(0.62, abs=0.02)
+
+    def test_simd_is_minority_under_mmx(self, aggregates):
+        total = sum(aggregates["mmx"].values())
+        assert aggregates["mmx"]["simd"] / total == pytest.approx(0.16, abs=0.02)
+
+    def test_mom_cuts_integer_by_20_percent(self, aggregates):
+        cut = 1 - aggregates["mom"]["int"] / aggregates["mmx"]["int"]
+        assert cut == pytest.approx(0.20, abs=0.03)
+
+    def test_mom_cuts_memory_by_7_percent(self, aggregates):
+        cut = 1 - aggregates["mom"]["mem"] / aggregates["mmx"]["mem"]
+        assert cut == pytest.approx(0.07, abs=0.03)
+
+    def test_mom_cuts_simd_ops_by_62_percent(self, aggregates):
+        cut = 1 - aggregates["mom"]["simd"] / aggregates["mmx"]["simd"]
+        assert cut == pytest.approx(0.62, abs=0.04)
+
+    def test_total_ratio_matches_1087_over_1429(self, aggregates):
+        ratio = sum(aggregates["mom"].values()) / sum(aggregates["mmx"].values())
+        assert ratio == pytest.approx(1087 / 1429, abs=0.02)
+
+    def test_mom_integer_share_not_reduced(self, aggregates):
+        """Paper: MOM slightly *increases* the integer percentage."""
+        mmx_share = aggregates["mmx"]["int"] / sum(aggregates["mmx"].values())
+        mom_share = aggregates["mom"]["int"] / sum(aggregates["mom"].values())
+        assert mom_share >= mmx_share
+
+
+class TestTraceStructure:
+    def test_deterministic_for_same_seed(self):
+        a = build_program_trace("gsmenc", "mmx", scale=SCALE, seed=3)
+        b = build_program_trace("gsmenc", "mmx", scale=SCALE, seed=3)
+        assert len(a) == len(b)
+        assert all(
+            x.op == y.op and x.pc == y.pc and x.mem_addr == y.mem_addr
+            for x, y in zip(a.instructions, b.instructions)
+        )
+
+    def test_different_seeds_differ(self):
+        a = build_program_trace("gsmenc", "mmx", scale=SCALE, seed=3)
+        b = build_program_trace("gsmenc", "mmx", scale=SCALE, seed=4)
+        assert any(
+            x.mem_addr != y.mem_addr for x, y in zip(a.instructions, b.instructions)
+        )
+
+    def test_pcs_repeat_loops(self):
+        trace = build_program_trace("mpeg2enc", "mmx", scale=SCALE)
+        pcs = [inst.pc for inst in trace.instructions]
+        assert len(set(pcs)) < len(pcs) / 3   # static code replayed
+
+    def test_branches_present_and_mostly_taken(self):
+        trace = build_program_trace("mpeg2enc", "mmx", scale=SCALE)
+        branches = [i for i in trace.instructions if i.is_branch]
+        assert len(branches) > 100
+        taken = sum(1 for b in branches if b.taken)
+        assert 0.4 < taken / len(branches) < 0.95
+
+    def test_mom_traces_have_streams(self):
+        trace = build_program_trace("mpeg2enc", "mom", scale=SCALE)
+        streams = [i for i in trace.instructions if i.stream_length > 1]
+        assert streams
+        assert all(1 < s.stream_length <= 16 for s in streams)
+
+    def test_mom_stream_memory_has_stride(self):
+        trace = build_program_trace("jpegenc", "mom", scale=SCALE)
+        loads = [i for i in trace.instructions if i.op is Opcode.MOM_LOAD]
+        assert loads
+        assert all(load.stride > 0 for load in loads)
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            build_program_trace("nosuch", "mmx")
+
+    def test_silly_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_program_trace("gsmdec", "mmx", scale=1e-9)
+
+    def test_mmx_equivalent_set(self, all_traces):
+        for name in WORKLOAD_MIXES:
+            mom = all_traces[name]["mom"]
+            mmx = all_traces[name]["mmx"]
+            assert mom.mmx_equivalent == pytest.approx(
+                mmx.expanded_length, rel=0.02
+            )
+
+
+class TestWorkloadRegistry:
+    def test_order_has_eight_slots_with_mpeg2dec_twice(self):
+        assert len(WORKLOAD_ORDER) == 8
+        assert WORKLOAD_ORDER.count("mpeg2dec") == 2
+
+    def test_order_covers_all_programs(self):
+        assert set(WORKLOAD_ORDER) == set(WORKLOAD_MIXES)

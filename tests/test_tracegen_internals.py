@@ -1,0 +1,203 @@
+"""Unit tests for trace-generation internals (builder, regions)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegisterClass, reg_class
+from repro.tracegen.builder import (
+    AddressSpace,
+    FractionAccumulator,
+    TraceBuilder,
+)
+from repro.tracegen.mixes import WORKLOAD_MIXES
+from repro.tracegen.synthetic import ScalarRegion
+from repro.tracegen.vectorizer import FpKernelRegion, KernelRegion
+
+import random
+
+
+class TestFractionAccumulator:
+    @given(st.floats(0.0, 8.0), st.integers(10, 2000))
+    @settings(max_examples=40)
+    def test_long_run_rate_exact(self, rate, n):
+        acc = FractionAccumulator(rate)
+        total = sum(acc.take() for __ in range(n))
+        assert abs(total - rate * n) < 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FractionAccumulator(-0.1)
+
+    def test_integer_rate_every_time(self):
+        acc = FractionAccumulator(3.0)
+        assert [acc.take() for __ in range(4)] == [3, 3, 3, 3]
+
+
+class TestAddressSpace:
+    def _space(self, **kw):
+        defaults = dict(
+            rng=random.Random(1),
+            scalar_working_set=16 << 10,
+            kernel_working_set=128 << 10,
+        )
+        defaults.update(kw)
+        return AddressSpace(**defaults)
+
+    def test_scalar_addresses_in_known_regions(self):
+        space = self._space()
+        for __ in range(500):
+            addr = space.scalar_addr()
+            assert (
+                AddressSpace.STACK_BASE
+                <= addr
+                < AddressSpace.HEAP_BASE + AddressSpace.HEAP_SIZE
+            )
+
+    def test_stream_tile_rewalks(self):
+        space = self._space(tile_bytes=256, tile_passes=3)
+        first_pass = [space.stream_addr(0, 8) for __ in range(32)]
+        second_pass = [space.stream_addr(0, 8) for __ in range(32)]
+        assert first_pass == second_pass        # same tile re-walked
+
+    def test_tile_advances_after_passes(self):
+        space = self._space(tile_bytes=256, tile_passes=2)
+        passes = [[space.stream_addr(0, 8) for __ in range(32)] for __ in range(3)]
+        assert passes[0] == passes[1]
+        assert passes[2][0] == passes[0][0] + 256   # next tile
+
+    def test_arrays_are_disjoint(self):
+        space = self._space()
+        a0 = space.stream_addr(0, 8)
+        a1 = space.stream_addr(1, 8)
+        assert abs(a0 - a1) >= AddressSpace.ARRAY_SPACING - (64 * 64)
+
+    def test_cold_addr_sequential_never_repeats_within_region(self):
+        space = self._space()
+        addrs = [space.cold_addr(8) for __ in range(1000)]
+        assert len(set(addrs)) == 1000
+        assert addrs[1] - addrs[0] == 8
+
+    def test_tile_validation(self):
+        with pytest.raises(ValueError):
+            self._space(tile_bytes=64)
+        with pytest.raises(ValueError):
+            self._space(tile_passes=0)
+
+
+class TestTraceBuilder:
+    def test_rejects_unknown_isa(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("sse2", seed=0)
+
+    def test_register_classes_match_op_types(self):
+        builder = TraceBuilder("mom", seed=0)
+        assert reg_class(builder.int_op().dst) is RegisterClass.INT
+        assert reg_class(builder.fp_op().dst) is RegisterClass.FP
+        assert reg_class(builder.mmx_op().dst) is RegisterClass.MMX
+        assert reg_class(builder.mom_op(16).dst) is RegisterClass.STREAM
+        assert (
+            reg_class(builder.mom_op(16, reduce=True).dst) is RegisterClass.ACC
+        )
+
+    def test_reduce_op_reads_its_accumulator(self):
+        builder = TraceBuilder("mom", seed=0)
+        inst = builder.mom_op(16, reduce=True)
+        assert inst.dst in inst.srcs        # read-modify-write dependence
+
+    def test_pcs_monotone_without_explicit_pc(self):
+        builder = TraceBuilder("mmx", seed=0)
+        a = builder.int_op()
+        b = builder.int_op()
+        assert b.pc == a.pc + 4
+
+    def test_explicit_pc_respected(self):
+        builder = TraceBuilder("mmx", seed=0)
+        inst = builder.int_op(pc=0x4242_0000)
+        assert inst.pc == 0x4242_0000
+
+    def test_sources_come_from_recent_writers(self):
+        builder = TraceBuilder("mmx", seed=0)
+        written = {builder.int_op().dst for __ in range(50)}
+        inst = builder.int_op()
+        seeded = {builder._recent[RegisterClass.INT][0]}
+        for src in inst.srcs:
+            assert src in written | seeded or reg_class(src) is RegisterClass.INT
+
+    def test_branch_defaults_to_backward_target(self):
+        builder = TraceBuilder("mmx", seed=0)
+        for __ in range(40):
+            builder.int_op()
+        branch = builder.branch(taken=True)
+        assert branch.target < branch.pc
+
+
+class TestScalarRegion:
+    def test_budgets_met_exactly_for_int(self):
+        builder = TraceBuilder("mmx", seed=2)
+        region = ScalarRegion(builder, n_blocks=32)
+        emitted = region.emit(n_int=300, n_fp=10, n_mem=80)
+        assert emitted["int"] == 300
+        assert emitted["fp"] == 10
+        assert emitted["mem"] == 80
+
+    def test_emits_branches_within_int_budget(self):
+        builder = TraceBuilder("mmx", seed=2)
+        region = ScalarRegion(builder, n_blocks=32)
+        region.emit(n_int=300, n_fp=0, n_mem=0)
+        branches = [i for i in builder.instructions if i.is_branch]
+        assert 10 < len(branches) < 150
+
+    def test_needs_two_blocks(self):
+        builder = TraceBuilder("mmx", seed=2)
+        with pytest.raises(ValueError):
+            ScalarRegion(builder, n_blocks=1)
+
+
+class TestKernelRegion:
+    def test_mmx_burst_emits_simd_and_loop_control(self):
+        mix = WORKLOAD_MIXES["mpeg2enc"]
+        builder = TraceBuilder("mmx", seed=3)
+        region = KernelRegion(builder, mix)
+        region.emit_burst(64)
+        ops = [i.op for i in builder.instructions]
+        assert Opcode.MMX_ALU in ops
+        assert Opcode.MMX_LOAD in ops
+        assert Opcode.BRANCH in ops
+
+    def test_mom_burst_emits_streams(self):
+        mix = WORKLOAD_MIXES["mpeg2enc"]
+        builder = TraceBuilder("mom", seed=3)
+        region = KernelRegion(builder, mix)
+        region.emit_burst(64)
+        streams = [i for i in builder.instructions if i.stream_length > 1]
+        assert streams
+        assert all(s.stream_length == mix.stream_length for s in streams)
+
+    def test_mom_emits_far_fewer_instructions(self):
+        mix = WORKLOAD_MIXES["mpeg2enc"]
+        counts = {}
+        for isa in ("mmx", "mom"):
+            builder = TraceBuilder(isa, seed=3)
+            KernelRegion(builder, mix).emit_burst(128)
+            counts[isa] = len(builder.instructions)
+        assert counts["mom"] < counts["mmx"] / 5
+
+    def test_rejects_non_vectorizable_program(self):
+        builder = TraceBuilder("mmx", seed=3)
+        with pytest.raises(ValueError):
+            KernelRegion(builder, WORKLOAD_MIXES["mesa"])
+
+    def test_fp_kernel_identical_instruction_count_either_isa(self):
+        counts = {}
+        for isa in ("mmx", "mom"):
+            builder = TraceBuilder(isa, seed=4)
+            FpKernelRegion(builder).emit_burst(50)
+            counts[isa] = len(builder.instructions)
+        assert counts["mmx"] == counts["mom"]
+
+    def test_fp_kernel_reports_emission(self):
+        builder = TraceBuilder("mmx", seed=4)
+        emitted = FpKernelRegion(builder).emit_burst(10)
+        assert emitted["fp"] == 10 * FpKernelRegion.FP_PER_ITER
+        assert emitted["int"] == 10 * (FpKernelRegion.INT_PER_ITER + 1)

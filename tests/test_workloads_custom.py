@@ -1,0 +1,127 @@
+"""Tests for the user-defined-workload API."""
+
+import pytest
+
+from repro.core import SMTConfig, SMTProcessor
+from repro.memory import PerfectMemory
+from repro.tracegen.mixes import WORKLOAD_MIXES
+from repro.workloads.custom import (
+    VECTOR_PROFILES,
+    build_custom_workload,
+    define_program,
+    remove_program,
+)
+
+SCALE = 1.2e-5
+
+
+@pytest.fixture()
+def clean_registry():
+    added = []
+
+    def _define(name, **kwargs):
+        mix = define_program(name, **kwargs)
+        added.append(name)
+        return mix
+
+    yield _define
+    for name in added:
+        WORKLOAD_MIXES.pop(name, None)
+
+
+BASE = dict(
+    minsts=120.0,
+    frac_int=0.60,
+    frac_fp=0.02,
+    frac_simd=0.18,
+    frac_mem=0.20,
+)
+
+
+class TestDefineProgram:
+    def test_registers_and_generates(self, clean_registry):
+        clean_registry("videochat", **BASE, vector_profile="motion_search")
+        traces = build_custom_workload(["videochat"], "mom", scale=SCALE)
+        assert traces[0].name == "videochat"
+        assert traces[0].expanded_length > 500
+
+    def test_mom_saves_instructions_for_vector_profiles(self, clean_registry):
+        clean_registry("videochat", **BASE, vector_profile="motion_search")
+        mmx = build_custom_workload(["videochat"], "mmx", scale=SCALE)[0]
+        mom = build_custom_workload(["videochat"], "mom", scale=SCALE)[0]
+        assert mom.expanded_length < mmx.expanded_length
+
+    def test_duplicate_rejected_without_replace(self, clean_registry):
+        clean_registry("dup", **BASE)
+        with pytest.raises(ValueError):
+            define_program("dup", **BASE)
+        define_program("dup", **BASE, replace=True)   # fine
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            define_program("x", **BASE, vector_profile="warp_drive")
+
+    def test_simd_with_scalar_only_profile_rejected(self):
+        with pytest.raises(ValueError):
+            define_program("x", **BASE, vector_profile="scalar_only")
+
+    def test_fractions_validated_by_mix(self):
+        with pytest.raises(ValueError):
+            define_program(
+                "bad", minsts=10, frac_int=0.9, frac_fp=0.5,
+                frac_simd=0.0, frac_mem=0.0, vector_profile="scalar_only",
+            )
+
+    def test_all_profiles_instantiable(self, clean_registry):
+        for i, profile in enumerate(VECTOR_PROFILES):
+            simd = 0.0 if profile == "scalar_only" else 0.15
+            clean_registry(
+                f"probe{i}",
+                minsts=50,
+                frac_int=0.65,
+                frac_fp=0.0,
+                frac_simd=simd,
+                frac_mem=0.35 - simd,
+                vector_profile=profile,
+            )
+            build_custom_workload([f"probe{i}"], "mmx", scale=SCALE)
+
+
+class TestRemoveProgram:
+    def test_paper_programs_protected(self):
+        with pytest.raises(ValueError):
+            remove_program("mpeg2enc")
+
+    def test_user_program_removable(self, clean_registry):
+        clean_registry("ephemeral", **BASE)
+        remove_program("ephemeral")
+        assert "ephemeral" not in WORKLOAD_MIXES
+
+
+class TestCustomWorkloadRuns:
+    def test_simulates_end_to_end(self, clean_registry):
+        clean_registry("audioserver", minsts=60, frac_int=0.7, frac_fp=0.0,
+                       frac_simd=0.1, frac_mem=0.2,
+                       vector_profile="stream_filter")
+        traces = build_custom_workload(
+            ["audioserver", "gsmdec", "audioserver"], "mom", scale=SCALE
+        )
+        result = SMTProcessor(
+            SMTConfig(isa="mom", n_threads=2),
+            PerfectMemory(),
+            traces,
+            completions_target=3,
+        ).run()
+        assert result.program_completions == 3
+        assert result.eipc > 0.5
+
+    def test_duplicate_instances_get_distinct_seeds(self, clean_registry):
+        clean_registry("twin", **BASE)
+        traces = build_custom_workload(["twin", "twin"], "mmx", scale=SCALE)
+        a = [i.mem_addr for i in traces[0].instructions if i.is_mem][:40]
+        b = [i.mem_addr for i in traces[1].instructions if i.is_mem][:40]
+        assert a != b
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_custom_workload([], "mmx")

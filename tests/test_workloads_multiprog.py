@@ -1,0 +1,88 @@
+"""Tests for the multiprogramming scheduler and workload registry."""
+
+import pytest
+
+from repro.tracegen import build_program_trace
+from repro.workloads import (
+    MEDIABENCH_PROGRAMS,
+    MultiprogramScheduler,
+    WORKLOAD_ORDER,
+    build_workload_traces,
+)
+from repro.workloads.mediabench import workload_total_minsts
+
+SCALE = 1.2e-5
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_workload_traces("mmx", scale=SCALE)
+
+
+class TestRegistry:
+    def test_seven_programs(self):
+        assert len(MEDIABENCH_PROGRAMS) == 7
+
+    def test_instances_sum_to_eight(self):
+        assert sum(p.instances for p in MEDIABENCH_PROGRAMS.values()) == 8
+
+    def test_profiles_cover_mpeg4(self):
+        profiles = {p.profile for p in MEDIABENCH_PROGRAMS.values()}
+        assert any("video" in p for p in profiles)
+        assert any("audio" in p for p in profiles)
+        assert any("still image" in p for p in profiles)
+
+    def test_workload_totals_match_table3(self):
+        assert workload_total_minsts("mmx") == pytest.approx(1429, abs=10)
+        assert workload_total_minsts("mom") == pytest.approx(1087, abs=10)
+
+    def test_build_workload_returns_eight_traces(self, traces):
+        assert len(traces) == 8
+        assert [t.name for t in traces] == list(WORKLOAD_ORDER)
+
+    def test_duplicate_mpeg2dec_instances_differ(self, traces):
+        decs = [t for t in traces if t.name == "mpeg2dec"]
+        assert len(decs) == 2
+        addr_a = [i.mem_addr for i in decs[0].instructions if i.is_mem][:50]
+        addr_b = [i.mem_addr for i in decs[1].instructions if i.is_mem][:50]
+        assert addr_a != addr_b
+
+    def test_bad_isa_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload_traces("sse2")
+
+
+class TestScheduler:
+    def test_initial_assignments_follow_order(self, traces):
+        sched = MultiprogramScheduler(traces, n_threads=3)
+        slots = sched.initial_assignments()
+        assert [s.trace.name for s in slots] == list(WORKLOAD_ORDER[:3])
+
+    def test_rotation_wraps_list(self, traces):
+        sched = MultiprogramScheduler(traces, n_threads=8, completions_target=10)
+        sched.initial_assignments()
+        first_refill = sched.on_completion()
+        assert first_refill.trace.name == WORKLOAD_ORDER[0]
+
+    def test_completion_target_ends_run(self, traces):
+        sched = MultiprogramScheduler(traces, n_threads=1, completions_target=2)
+        sched.initial_assignments()
+        assert sched.on_completion() is not None
+        assert sched.on_completion() is None
+        assert sched.done
+        assert sched.completions == 2
+
+    def test_single_thread_runs_programs_sequentially(self, traces):
+        sched = MultiprogramScheduler(traces, n_threads=1, completions_target=8)
+        slots = sched.initial_assignments()
+        names = [slots[0].trace.name]
+        for __ in range(7):
+            replacement = sched.on_completion()
+            names.append(replacement.trace.name)
+        assert names == list(WORKLOAD_ORDER)
+
+    def test_validation(self, traces):
+        with pytest.raises(ValueError):
+            MultiprogramScheduler(traces, n_threads=0)
+        with pytest.raises(ValueError):
+            MultiprogramScheduler([], n_threads=1)
