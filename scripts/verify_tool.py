@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Run every static verification check over the repository's artifacts.
+
+Usage:
+    python scripts/verify_tool.py            # all checks
+    python scripts/verify_tool.py isa        # ISA table cross-validation
+    python scripts/verify_tool.py asm        # lint examples + kernel library
+    python scripts/verify_tool.py traces     # validate generated traces
+
+Exit status is 0 when no checker reports an ERROR-severity diagnostic
+(warnings are printed but do not fail the run), non-zero otherwise.
+See docs/VERIFY.md for the full rule catalogue.
+"""
+
+import sys
+
+from repro.isa import codegen
+from repro.tracegen.mixes import WORKLOAD_MIXES
+from repro.tracegen.program import build_program_trace
+from repro.verify.asmcheck import lint_program, lint_source
+from repro.verify.diagnostics import Report
+from repro.verify.isacheck import check_isa
+from repro.verify.tracecheck import check_trace
+
+#: Scale for the smoke traces: small enough to validate in seconds,
+#: large enough to exercise every emission path of the generator.
+TRACE_SCALE = 2e-5
+
+#: The kernel library: representative instances of every generator.
+KERNEL_PROGRAMS = {
+    "codegen.mom_dot_product": lambda: codegen.mom_dot_product(0x1000, 0x2000, 64),
+    "codegen.mom_sad": lambda: codegen.mom_sad(0x1000, 0x2000, 128),
+    "codegen.mom_saturating_add": lambda: codegen.mom_saturating_add(
+        0x1000, 0x2000, 0x3000, 64
+    ),
+    "codegen.mmx_dot_product": lambda: codegen.mmx_dot_product(0x1000, 0x2000, 64),
+    "codegen.mmx_saturating_add": lambda: codegen.mmx_saturating_add(
+        0x1000, 0x2000, 0x3000, 64
+    ),
+}
+
+
+def run_isa(report: Report) -> None:
+    report.extend(check_isa())
+    print("isacheck: ISA tables cross-validated")
+
+
+def run_asm(report: Report) -> None:
+    import examples.mom_assembly as mom_assembly
+
+    # Assembly listings are the module's multi-line string constants
+    # (DOT_PRODUCT, SAD_16x8, ...).
+    sources = {
+        name: value
+        for name in dir(mom_assembly)
+        if not name.startswith("_")
+        and isinstance(value := getattr(mom_assembly, name), str)
+        and "\n" in value
+    }
+    for name, source in sorted(sources.items()):
+        report.extend(
+            lint_source(source, name=f"examples/mom_assembly.py::{name}")
+        )
+    for name, factory in KERNEL_PROGRAMS.items():
+        report.extend(lint_program(factory(), name=name))
+    print(
+        f"asmcheck: {len(sources)} example programs, "
+        f"{len(KERNEL_PROGRAMS)} library kernels"
+    )
+
+
+def run_traces(report: Report) -> None:
+    checked = 0
+    for name in WORKLOAD_MIXES:
+        for isa in ("mmx", "mom"):
+            trace = build_program_trace(name, isa, scale=TRACE_SCALE)
+            report.extend(check_trace(trace))
+            checked += 1
+    print(f"tracecheck: {checked} generated traces validated")
+
+
+COMMANDS = {
+    "isa": run_isa,
+    "asm": run_asm,
+    "traces": run_traces,
+}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    selected = argv[1:] or list(COMMANDS)
+    unknown = [name for name in selected if name not in COMMANDS]
+    if unknown:
+        print(f"unknown check(s): {', '.join(unknown)}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    report = Report()
+    for name in selected:
+        COMMANDS[name](report)
+    if report.diagnostics:
+        print()
+        print(report.render())
+    print()
+    print(
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -110,6 +110,10 @@ class SMTConfig:
     decode_buffer: int = 16
     mispredict_redirect: int = 3
     resources: Resources = field(default=None)
+    #: Enable the runtime invariant sanitizer
+    #: (:mod:`repro.verify.sanitizer`).  Off by default: when disabled
+    #: the hooks are a single attribute test, so there is no overhead.
+    sanitize: bool = False
 
     def __post_init__(self):
         if self.isa not in ("mmx", "mom"):

@@ -24,6 +24,8 @@ class IssueQueue:
         self.ready: deque = deque()
         # Issue-bandwidth accounting for utilization reporting.
         self.issued_total = 0
+        #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
+        self.sanitizer = None
 
     @property
     def has_space(self) -> bool:
@@ -40,6 +42,8 @@ class IssueQueue:
         self.occupancy += 1
         if entry.deps == 0:
             self.ready.append(entry)
+        if self.sanitizer is not None:
+            self.sanitizer.check_queue(self)
 
     def wake(self, entry) -> None:
         """A dependent became ready (called by the completion stage)."""

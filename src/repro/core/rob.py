@@ -21,6 +21,8 @@ class GraduationWindow:
         self.capacity = capacity
         self.occupancy = 0
         self._fifos: list[deque] = [deque() for __ in range(n_threads)]
+        #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
+        self.sanitizer = None
 
     @property
     def has_space(self) -> bool:
@@ -31,6 +33,8 @@ class GraduationWindow:
             raise RuntimeError("graduation window overflow")
         self._fifos[thread].append(entry)
         self.occupancy += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_window_insert(self, thread, entry)
 
     def head(self, thread: int):
         fifo = self._fifos[thread]
@@ -40,6 +44,8 @@ class GraduationWindow:
         """Pop and return the thread's oldest entry (must exist)."""
         entry = self._fifos[thread].popleft()
         self.occupancy -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_window_retire(self, thread, entry)
         return entry
 
     def thread_occupancy(self, thread: int) -> int:
@@ -51,6 +57,8 @@ class GraduationWindow:
         squashed = len(fifo)
         for entry in fifo:
             entry.squashed = True
+        if self.sanitizer is not None:
+            self.sanitizer.on_window_flush(thread, fifo)
         fifo.clear()
         self.occupancy -= squashed
         return squashed

@@ -22,7 +22,6 @@ cycle are visible one cycle later:
 
 from __future__ import annotations
 
-import math
 
 from repro.core.branch import GsharePredictor
 from repro.core.execute import VectorUnit
@@ -168,6 +167,17 @@ class SMTProcessor:
         self.window = GraduationWindow(
             config.resources.graduation_window, config.n_threads
         )
+        self.sanitizer = None
+        if config.sanitize:
+            # Imported lazily so the core has no dependency on the
+            # verify layer unless invariant checking is requested.
+            from repro.verify.sanitizer import RuntimeSanitizer
+
+            self.sanitizer = RuntimeSanitizer()
+            self.window.sanitizer = self.sanitizer
+            for queue in self.queues.values():
+                queue.sanitizer = self.sanitizer
+            memory.attach_sanitizer(self.sanitizer)
         self.pools = dict(config.resources.rename_regs)
         self.threads = [ThreadContext(i) for i in range(config.n_threads)]
         for slot, assignment in zip(
@@ -493,6 +503,10 @@ class SMTProcessor:
         if self.now >= self.max_cycles:
             raise RuntimeError(
                 f"simulation exceeded {self.max_cycles} cycles — livelock?"
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(
+                self.now, self.window, self.queues.values(), self.memory
             )
         return RunResult(
             isa=self.config.isa,

@@ -29,14 +29,70 @@ from repro.isa.mom import (
     MOM_OPCODES,
     MOM_STREAM_REGISTERS,
 )
+from repro.isa.opcodes import Opcode
 from repro.isa.semantics import (
     PackedAccumulator,
     execute_mmx,
     execute_mmx3,
     psadbw,
+    unpack_lanes,
 )
 
 _U64 = (1 << REGISTER_BITS) - 1
+
+#: Scalar base-ISA mnemonics the machine executes directly.
+SCALAR_MNEMONICS = frozenset({"li", "add", "addi", "sub", "mul", "ld", "st"})
+
+#: Control-flow pseudo-mnemonics handled by :class:`~repro.isa.assembler.Program`.
+CONTROL_MNEMONICS = frozenset({"loop", "jmp"})
+
+#: MMX memory and hint forms dispatched outside the semantics tables.
+MMX_SPECIAL_FORMS = frozenset(
+    {"movq_ld", "movq_st", "movd_ld", "movd_st", "movntq", "prefetcht0"}
+)
+
+#: MOM mnemonics with dedicated handlers in :meth:`MediaMachine.exec_mom`
+#: (everything else goes through the generic element-wise path).
+MOM_SPECIAL_FORMS = frozenset(
+    {
+        # stream-length register
+        "setslri", "mtslr", "mfslr",
+        # stream memory + prefetch hint
+        "vldq", "vldw", "vldd", "vldb", "vldub", "vlduw", "vprefetch",
+        "vstq", "vstw", "vstd", "vstb",
+        # packed-accumulator operations
+        "vclracc", "vaddab", "vaddaw", "vaddad", "vsubab", "vsubaw",
+        "vsubad", "vmulaw", "vmaddawd", "vmsubawd", "vsadab",
+        # accumulator readout
+        "vrdaccsb", "vrdaccsw", "vrdaccsd",
+        "vrdaccub", "vrdaccuw", "vrdaccud",
+        # whole-stream reductions into a scalar register
+        "vsumb", "vsumw", "vsumd",
+        "vminredb", "vminredw", "vminredd",
+        "vmaxredb", "vmaxredw", "vmaxredd",
+        "vsadbw",
+        # moves
+        "vsplatq", "vmov", "vzero",
+    }
+)
+
+#: Architecturally defined opcodes whose *function* the machine does not
+#: model.  They still classify for timing (queue, FU, latency) and appear
+#: in generated traces, but executing one raises ``NotImplementedError``
+#: instead of silently computing garbage.  ``repro.verify.isacheck``
+#: asserts this set is exactly the opcodes with no executable path, so a
+#: mnemonic can neither rot here after gaining semantics nor fall through
+#: the generic path into a meaningless result.
+TIMING_ONLY_MNEMONICS = frozenset(
+    {
+        "vmergelb", "vmergelw", "vmergeld",
+        "vmergehb", "vmergehw", "vmergehd",
+        "vsplatb", "vsplatw", "vsplatd",
+        "vmaskmov",
+        "vdotbw", "vdotwd",
+        "vscalew", "vclipw", "vrndw", "vshradd",
+    }
+)
 
 
 class ByteMemory:
@@ -127,11 +183,25 @@ class MediaMachine:
                 self.r[operands[1]] + operands[2], 8
             )
             return
-        if op == "movq_st":
+        if op == "movd_ld":
+            self.mm[operands[0]] = self.memory.read(
+                self.r[operands[1]] + operands[2], 4
+            )
+            return
+        if op in ("movq_st", "movntq"):
             self.memory.write(
                 self.r[operands[1]] + operands[2], self.mm[operands[0]], 8
             )
             return
+        if op == "movd_st":
+            self.memory.write(
+                self.r[operands[1]] + operands[2],
+                self.mm[operands[0]] & 0xFFFFFFFF,
+                4,
+            )
+            return
+        if op == "prefetcht0":
+            return                      # hint: no architectural effect
         if spec.sources == 3:
             self.mm[operands[0]] = execute_mmx3(
                 op,
@@ -146,15 +216,45 @@ class MediaMachine:
                 op, self.mm[operands[1]], imm=imm
             )
             return
+        imm = operands[3] if len(operands) > 3 else 0
         self.mm[operands[0]] = execute_mmx(
-            op, self.mm[operands[1]], self.mm[operands[2]]
+            op, self.mm[operands[1]], self.mm[operands[2]], imm=imm
         )
 
     # ----- MOM -----------------------------------------------------------------
 
+    #: Accumulator fold variants: mnemonic -> (element type, sign).
+    _ACC_FOLD = {
+        "vaddab": (ET.INT8, 1),
+        "vaddaw": (ET.INT16, 1),
+        "vaddad": (ET.INT32, 1),
+        "vsubab": (ET.INT8, -1),
+        "vsubaw": (ET.INT16, -1),
+        "vsubad": (ET.INT32, -1),
+    }
+
+    #: Whole-stream reductions into a scalar register: mnemonic ->
+    #: (element type, combining function over all lane values).
+    _SCALAR_REDUCE = {
+        "vsumb": (ET.INT8, sum),
+        "vsumw": (ET.INT16, sum),
+        "vsumd": (ET.INT32, sum),
+        "vminredb": (ET.INT8, min),
+        "vminredw": (ET.INT16, min),
+        "vminredd": (ET.INT32, min),
+        "vmaxredb": (ET.INT8, max),
+        "vmaxredw": (ET.INT16, max),
+        "vmaxredd": (ET.INT32, max),
+    }
+
     def exec_mom(self, op: str, operands: list) -> None:
         if op not in MOM_OPCODES:
             raise KeyError(f"unknown MOM mnemonic {op!r}")
+        if op in TIMING_ONLY_MNEMONICS:
+            raise NotImplementedError(
+                f"MOM mnemonic {op!r} is timing-only: it has a simulator "
+                "opcode class but no modeled architectural semantics"
+            )
         length = self._check_slr()
         if op == "setslri":
             self.slr = operands[0]
@@ -167,6 +267,8 @@ class MediaMachine:
         if op == "mfslr":
             self.r[operands[0]] = self.slr
             return
+        if op == "vprefetch":
+            return                      # hint: no architectural effect
         if op in ("vldq", "vldw", "vldd", "vldb", "vldub", "vlduw"):
             base = self.r[operands[1]] + operands[2]
             stride = operands[3] if len(operands) > 3 else 8
@@ -184,17 +286,18 @@ class MediaMachine:
         if op == "vclracc":
             self.acc[operands[0]].clear()
             return
-        if op == "vaddaw":
-            self.acc[operands[0]].add_stream(self.v[operands[1]][:length])
-            return
-        if op == "vsubaw":
+        if op in self._ACC_FOLD:
+            etype, sign = self._ACC_FOLD[op]
             self.acc[operands[0]].add_stream(
-                self.v[operands[1]][:length], sign=-1
+                self.v[operands[1]][:length], sign=sign, etype=etype
             )
             return
-        if op == "vmaddawd":
+        if op in ("vmulaw", "vmaddawd", "vmsubawd"):
+            sign = -1 if op == "vmsubawd" else 1
             self.acc[operands[0]].madd_stream(
-                self.v[operands[1]][:length], self.v[operands[2]][:length]
+                self.v[operands[1]][:length],
+                self.v[operands[2]][:length],
+                sign=sign,
             )
             return
         if op == "vsadab":
@@ -213,13 +316,13 @@ class MediaMachine:
             }[op]
             self.mm[operands[0]] = self.acc[operands[1]].read(etype)
             return
-        if op == "vsumd":
-            # Reduce: scalar sum of 32-bit lanes over the stream.
-            total = 0
+        if op in self._SCALAR_REDUCE:
+            # Reduce every signed lane of every stream element to a scalar.
+            etype, combine = self._SCALAR_REDUCE[op]
+            lanes: list[int] = []
             for word in self.v[operands[1]][:length]:
-                lanes = [(word >> 32 * i) & 0xFFFFFFFF for i in range(2)]
-                total += sum(lanes)
-            self.r[operands[0]] = total & _U64
+                lanes.extend(unpack_lanes(word, etype))
+            self.r[operands[0]] = combine(lanes) & _U64
             return
         if op == "vsadbw":
             total = 0
@@ -241,12 +344,31 @@ class MediaMachine:
         # Generic element-wise stream arithmetic: apply the MMX semantic
         # "p" + suffix per element — the architectural definition of MOM.
         spec = MOM_OPCODES[op]
-        base_mnemonic = "p" + op[1:]
+        if spec.sim_class not in (Opcode.MOM_ALU, Opcode.MOM_MUL):
+            raise NotImplementedError(
+                f"MOM mnemonic {op!r} has no dedicated handler and is not "
+                "element-wise stream arithmetic"
+            )
+        # Most MOM mnemonics are "v" + suffix of an MMX "p"-mnemonic
+        # (vaddb -> paddb); pack/unpack forms already carry the "p"
+        # (vpacksswb -> packsswb).
+        base_mnemonic = op[1:] if op[1:].startswith("p") else "p" + op[1:]
         dst, src_a = operands[0], operands[1]
-        if spec.sources >= 2:
-            src_b = operands[2]
+        if spec.sources == 3:
+            src_b, src_c = operands[2], operands[3]
             self.v[dst][:length] = [
-                execute_mmx(base_mnemonic, a, b)
+                execute_mmx3(base_mnemonic, a, b, c)
+                for a, b, c in zip(
+                    self.v[src_a][:length],
+                    self.v[src_b][:length],
+                    self.v[src_c][:length],
+                )
+            ]
+        elif spec.sources == 2:
+            src_b = operands[2]
+            imm = operands[3] if len(operands) > 3 else 0
+            self.v[dst][:length] = [
+                execute_mmx(base_mnemonic, a, b, imm=imm)
                 for a, b in zip(
                     self.v[src_a][:length], self.v[src_b][:length]
                 )

@@ -135,6 +135,22 @@ _BINARY_SEMANTICS = {
     "pmaxsw": (ET.INT16, max, False),
 }
 
+_UNARY_SEMANTICS = {
+    # Bases of the MOM vabs*/vneg* stream operations (no MMX architectural
+    # counterpart; MMX code synthesizes them from compare/sub sequences).
+    "pabsb": (ET.INT8, abs),
+    "pabsw": (ET.INT16, abs),
+    "pabsd": (ET.INT32, abs),
+    "pnegb": (ET.INT8, lambda x: -x),
+    "pnegw": (ET.INT16, lambda x: -x),
+    "pnegd": (ET.INT32, lambda x: -x),
+}
+
+#: Public view of the table-driven handler sets, consumed by
+#: :mod:`repro.verify.isacheck` when cross-validating the ISA tables.
+BINARY_MNEMONICS = frozenset(_BINARY_SEMANTICS)
+UNARY_MNEMONICS = frozenset(_UNARY_SEMANTICS)
+
 
 def execute_mmx(mnemonic: str, a: int, b: int = 0, imm: int = 0) -> int:
     """Execute one MMX-like packed operation on 64-bit register images.
@@ -147,6 +163,11 @@ def execute_mmx(mnemonic: str, a: int, b: int = 0, imm: int = 0) -> int:
     if mnemonic in _BINARY_SEMANTICS:
         etype, op, saturating = _BINARY_SEMANTICS[mnemonic]
         return lanewise(op, a, b, etype, saturating=saturating)
+    if mnemonic in _UNARY_SEMANTICS:
+        etype, op = _UNARY_SEMANTICS[mnemonic]
+        return lanewise_unary(op, a, etype, saturating=False)
+    if mnemonic == "pinsrw":
+        return pinsrw(a, b, imm)
     if mnemonic == "pmaddwd":
         return pmaddwd(a, b)
     if mnemonic == "psadbw":
@@ -271,24 +292,27 @@ class PackedAccumulator:
     def clear(self) -> None:
         self.lanes = [0] * self.LANES
 
-    def _fold(self, word: int, sign: int) -> None:
-        values = unpack_lanes(word, ET.INT16)
-        for i in range(self.LANES):
-            acc = self.lanes[i] + sign * values[i]
-            self.lanes[i] = to_signed(acc, self.LANE_BITS)
+    def _fold(self, word: int, sign: int, etype: ET = ET.INT16) -> None:
+        # Narrower elements fold pair-wise into the 4 wide lanes (8 bytes
+        # land 2-per-lane); wider elements occupy the low lanes only.
+        values = unpack_lanes(word, etype)
+        for i, value in enumerate(values):
+            lane = i % self.LANES
+            acc = self.lanes[lane] + sign * value
+            self.lanes[lane] = to_signed(acc, self.LANE_BITS)
 
-    def add_stream(self, words, sign: int = 1) -> None:
-        """vaddaw/vsubaw: accumulate 16-bit lanes of every stream element."""
+    def add_stream(self, words, sign: int = 1, etype: ET = ET.INT16) -> None:
+        """vadda*/vsuba*: accumulate the lanes of every stream element."""
         for word in words:
-            self._fold(word, sign)
+            self._fold(word, sign, etype)
 
-    def madd_stream(self, words_a, words_b) -> None:
-        """vmaddawd: accumulate lane-wise products of two streams."""
+    def madd_stream(self, words_a, words_b, sign: int = 1) -> None:
+        """vmaddawd/vmsubawd: accumulate lane-wise products of two streams."""
         for wa, wb in zip(words_a, words_b):
             xs = unpack_lanes(wa, ET.INT16)
             ys = unpack_lanes(wb, ET.INT16)
             for i in range(self.LANES):
-                acc = self.lanes[i] + xs[i] * ys[i]
+                acc = self.lanes[i] + sign * xs[i] * ys[i]
                 self.lanes[i] = to_signed(acc, self.LANE_BITS)
 
     def sad_stream(self, words_a, words_b) -> None:

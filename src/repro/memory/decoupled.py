@@ -95,6 +95,8 @@ class DecoupledHierarchy(MemorySystem):
         phys = physical_address(thread, addr)
         start = self._acquire(self._vector_ports, now)
         start = self._coherence_check(phys, start)
+        if self.sanitizer is not None:
+            self.sanitizer.check_stream_bypass(self.l1, phys)
         done = self.l2.access(
             phys, start, is_store=(kind == AccessType.VECTOR_STORE)
         )
@@ -141,6 +143,8 @@ class DecoupledHierarchy(MemorySystem):
             phys = physical_address(thread, addr)
             start = self._acquire(self._vector_ports, now)
             start = self._coherence_check(phys, start)
+            if self.sanitizer is not None:
+                self.sanitizer.check_stream_bypass(self.l1, phys)
             line_done = self.l2.access(phys, start, is_store=is_store)
             if line_done > done:
                 done = line_done

@@ -62,6 +62,29 @@ class MemorySystem:
 
     def __init__(self):
         self.stats = MemoryStats()
+        #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
+        self.sanitizer = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Hook a runtime sanitizer into this hierarchy's components.
+
+        Walks the conventional attribute names (``l1``, ``l2``,
+        ``icache``) and attaches to any MSHR files and write buffers
+        found, so every concrete hierarchy gets invariant checking
+        without bespoke wiring.  Models without those structures (e.g.
+        the perfect memory) simply record the sanitizer.
+        """
+        self.sanitizer = sanitizer
+        for name in ("l1", "l2", "icache"):
+            cache = getattr(self, name, None)
+            if cache is None:
+                continue
+            mshr = getattr(cache, "mshr", None)
+            if mshr is not None:
+                mshr.sanitizer = sanitizer
+            buffer = getattr(cache, "write_buffer", None)
+            if buffer is not None:
+                buffer.sanitizer = sanitizer
 
     def access(
         self, thread: int, addr: int, kind: AccessType, now: int

@@ -21,6 +21,8 @@ class MshrFile:
             raise ValueError("need at least one MSHR")
         self.n_entries = n_entries
         self._pending: dict[int, int] = {}
+        #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
+        self.sanitizer = None
 
     def _reap(self, now: int) -> None:
         if len(self._pending) >= self.n_entries:
@@ -48,6 +50,8 @@ class MshrFile:
         if len(self._pending) >= self.n_entries:
             raise RuntimeError("MSHR allocation with no free entry")
         self._pending[line_addr] = fill_cycle
+        if self.sanitizer is not None:
+            self.sanitizer.check_mshr(self, now)
 
     def outstanding(self, now: int) -> int:
         """Number of misses still in flight at ``now``."""

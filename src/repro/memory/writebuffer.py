@@ -23,6 +23,8 @@ class WriteBuffer:
         self._last_drain = 0
         self.coalesced = 0
         self.full_stalls = 0
+        #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
+        self.sanitizer = None
 
     def _reap(self, now: int) -> None:
         if len(self._entries) >= self.depth:
@@ -50,6 +52,8 @@ class WriteBuffer:
         drain = max(accept, self._last_drain + self.drain_interval)
         self._last_drain = drain
         self._entries[line_addr] = drain
+        if self.sanitizer is not None:
+            self.sanitizer.check_writebuffer(self, accept)
         return accept
 
     def flush_line(self, line_addr: int, now: int) -> int:

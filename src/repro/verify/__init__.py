@@ -1,0 +1,37 @@
+"""Static ISA/assembly checking and runtime invariant sanitizing.
+
+Static checkers (pure functions returning
+:class:`~repro.verify.diagnostics.Diagnostic` lists):
+
+* :mod:`repro.verify.asmcheck` — lints MOM/MMX assembly (def-before-use,
+  SLR discipline, accumulator discipline, arity/classes, labels);
+* :mod:`repro.verify.isacheck` — cross-validates the ISA tables against
+  the opcode classes and the semantics handlers;
+* :mod:`repro.verify.tracecheck` — validates generated dynamic traces.
+
+Runtime layer:
+
+* :mod:`repro.verify.sanitizer` — opt-in invariant checks wired into the
+  core and memory models via ``SMTConfig(sanitize=True)``.
+
+``scripts/verify_tool.py`` runs all static checks over the examples,
+the kernel library and the trace generator; see ``docs/VERIFY.md``.
+"""
+
+from repro.verify.asmcheck import lint_program, lint_source
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.isacheck import check_isa
+from repro.verify.sanitizer import InvariantViolation, RuntimeSanitizer
+from repro.verify.tracecheck import check_trace
+
+__all__ = [
+    "Diagnostic",
+    "InvariantViolation",
+    "Report",
+    "RuntimeSanitizer",
+    "Severity",
+    "check_isa",
+    "check_trace",
+    "lint_program",
+    "lint_source",
+]

@@ -1,0 +1,227 @@
+"""Cross-validation of the ISA tables against the simulator and semantics.
+
+The paper's ISA is spread over four modules that can silently drift:
+:mod:`repro.isa.mmx` and :mod:`repro.isa.mom` (mnemonic tables),
+:mod:`repro.isa.opcodes` (opcode classes, FU mapping, latencies) and
+:mod:`repro.isa.semantics` (architectural execution).  This checker
+asserts their joint invariants:
+
+* exact opcode counts (the paper's 67 MMX / 121 MOM);
+* no mnemonic appears in both tables;
+* every mnemonic's ``sim_class`` has an FU class and positive latency in
+  ``OPCODE_INFO``, and belongs to the right extension family;
+* every mnemonic is *executable* — it has a dedicated machine handler,
+  reaches a semantics handler through the generic element-wise path, or
+  is explicitly documented in ``TIMING_ONLY_MNEMONICS`` (and that set
+  contains no stale entries);
+* every mnemonic has an :mod:`repro.verify.asmcheck` operand signature;
+* no semantics handler is orphaned (unreachable from any table entry).
+
+Executability is determined by *probing* ``execute_mmx``/``execute_mmx3``
+with zero operands (handlers are pure; ``KeyError`` means no handler)
+rather than by a parallel list that could itself drift.
+"""
+
+from __future__ import annotations
+
+from repro.isa.machine import (
+    MMX_SPECIAL_FORMS,
+    MOM_SPECIAL_FORMS,
+    TIMING_ONLY_MNEMONICS,
+)
+from repro.isa.mmx import EXPECTED_MMX_OPCODE_COUNT, MMX_OPCODES
+from repro.isa.mom import EXPECTED_MOM_OPCODE_COUNT, MOM_OPCODES
+from repro.isa.opcodes import OPCODE_INFO, Opcode
+from repro.isa.semantics import (
+    BINARY_MNEMONICS,
+    UNARY_MNEMONICS,
+    execute_mmx,
+    execute_mmx3,
+)
+from repro.verify.diagnostics import Diagnostic, error, warning
+
+CHECKER = "isacheck"
+
+_MMX_CLASSES = frozenset(
+    {Opcode.MMX_ALU, Opcode.MMX_MUL, Opcode.MMX_LOAD, Opcode.MMX_STORE}
+)
+_MOM_CLASSES = frozenset(
+    {
+        Opcode.MOM_ALU, Opcode.MOM_MUL, Opcode.MOM_LOAD, Opcode.MOM_STORE,
+        Opcode.MOM_REDUCE, Opcode.MOM_SETSLR,
+    }
+)
+_GENERIC_CLASSES = frozenset({Opcode.MOM_ALU, Opcode.MOM_MUL})
+
+
+def _handler_exists(base: str, sources: int) -> bool:
+    """Probe the semantics dispatcher for a handler (handlers are pure)."""
+    try:
+        if sources == 3:
+            execute_mmx3(base, 0, 0, 0)
+        else:
+            execute_mmx(base, 0, 0, imm=0)
+    except KeyError:
+        return False
+    except Exception:
+        return True                  # handler exists but rejects zeros
+    return True
+
+
+def mom_base_mnemonic(mnemonic: str) -> str:
+    """The MMX semantics mnemonic a generic MOM op applies element-wise."""
+    suffix = mnemonic[1:]
+    return suffix if suffix.startswith("p") else "p" + suffix
+
+
+def check_counts() -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for name, table, expected in (
+        ("MMX", MMX_OPCODES, EXPECTED_MMX_OPCODE_COUNT),
+        ("MOM", MOM_OPCODES, EXPECTED_MOM_OPCODE_COUNT),
+    ):
+        if len(table) != expected:
+            findings.append(error(
+                CHECKER, "ISA-COUNT",
+                f"{name} table has {len(table)} opcodes, paper specifies "
+                f"{expected}",
+                location=name,
+            ))
+    overlap = sorted(set(MMX_OPCODES) & set(MOM_OPCODES))
+    for mnemonic in overlap:
+        findings.append(error(
+            CHECKER, "ISA-DUP",
+            f"mnemonic {mnemonic!r} appears in both the MMX and MOM tables",
+            location=mnemonic,
+        ))
+    return findings
+
+
+def check_classes() -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for name, table, family in (
+        ("MMX", MMX_OPCODES, _MMX_CLASSES),
+        ("MOM", MOM_OPCODES, _MOM_CLASSES),
+    ):
+        for mnemonic, spec in table.items():
+            info = OPCODE_INFO.get(spec.sim_class)
+            if info is None:
+                findings.append(error(
+                    CHECKER, "ISA-NO-CLASS-INFO",
+                    f"{mnemonic}: sim_class {spec.sim_class!r} missing "
+                    "from OPCODE_INFO",
+                    location=mnemonic,
+                ))
+                continue
+            if info.latency < 1:
+                findings.append(error(
+                    CHECKER, "ISA-LATENCY",
+                    f"{mnemonic}: class {spec.sim_class.name} has "
+                    f"non-positive latency {info.latency}",
+                    location=mnemonic,
+                ))
+            if spec.sim_class not in family:
+                findings.append(error(
+                    CHECKER, "ISA-FAMILY",
+                    f"{mnemonic}: {name} mnemonic maps to foreign class "
+                    f"{spec.sim_class.name}",
+                    location=mnemonic,
+                ))
+    return findings
+
+
+def check_semantics() -> list[Diagnostic]:
+    """Every mnemonic executable or documented timing-only; no stale docs."""
+    findings: list[Diagnostic] = []
+    reachable_handlers: set[str] = set()
+
+    for mnemonic, spec in MMX_OPCODES.items():
+        if mnemonic in MMX_SPECIAL_FORMS:
+            continue
+        if _handler_exists(mnemonic, spec.sources):
+            reachable_handlers.add(mnemonic)
+        elif mnemonic not in TIMING_ONLY_MNEMONICS:
+            findings.append(error(
+                CHECKER, "ISA-ORPHAN",
+                f"MMX mnemonic {mnemonic!r} has no semantics handler and "
+                "is not documented as timing-only",
+                location=mnemonic,
+            ))
+
+    for mnemonic, spec in MOM_OPCODES.items():
+        if mnemonic in MOM_SPECIAL_FORMS:
+            continue
+        base = mom_base_mnemonic(mnemonic)
+        generic_ok = (
+            spec.sim_class in _GENERIC_CLASSES
+            and _handler_exists(base, spec.sources)
+        )
+        if generic_ok:
+            reachable_handlers.add(base)
+        if mnemonic in TIMING_ONLY_MNEMONICS:
+            if generic_ok:
+                findings.append(error(
+                    CHECKER, "ISA-STALE-TIMING-ONLY",
+                    f"{mnemonic!r} is documented timing-only but its "
+                    f"element-wise base {base!r} is executable",
+                    location=mnemonic,
+                ))
+        elif not generic_ok:
+            findings.append(error(
+                CHECKER, "ISA-ORPHAN",
+                f"MOM mnemonic {mnemonic!r} has neither a dedicated "
+                f"handler nor an executable element-wise base {base!r}, "
+                "and is not documented as timing-only",
+                location=mnemonic,
+            ))
+
+    known = set(MMX_OPCODES) | set(MOM_OPCODES)
+    for name, members in (
+        ("MMX_SPECIAL_FORMS", MMX_SPECIAL_FORMS),
+        ("MOM_SPECIAL_FORMS", MOM_SPECIAL_FORMS),
+        ("TIMING_ONLY_MNEMONICS", TIMING_ONLY_MNEMONICS),
+    ):
+        for mnemonic in sorted(set(members) - known):
+            findings.append(error(
+                CHECKER, "ISA-STALE-SET",
+                f"{name} lists {mnemonic!r}, which is in neither ISA table",
+                location=mnemonic,
+            ))
+
+    # Handlers nobody can reach (direct MMX use or via a MOM base).
+    for handler in sorted(
+        (BINARY_MNEMONICS | UNARY_MNEMONICS) - reachable_handlers
+    ):
+        findings.append(warning(
+            CHECKER, "ISA-UNREACHED-HANDLER",
+            f"semantics handler {handler!r} is not reachable from any "
+            "ISA table entry",
+            location=handler,
+        ))
+    return findings
+
+
+def check_signatures() -> list[Diagnostic]:
+    """Every table mnemonic must have an asmcheck operand signature."""
+    from repro.verify.asmcheck import SIGNATURES
+
+    findings: list[Diagnostic] = []
+    for table in (MMX_OPCODES, MOM_OPCODES):
+        for mnemonic in table:
+            if mnemonic not in SIGNATURES:
+                findings.append(error(
+                    CHECKER, "ISA-NO-SIGNATURE",
+                    f"{mnemonic!r} has no asmcheck operand signature",
+                    location=mnemonic,
+                ))
+    return findings
+
+
+def check_isa() -> list[Diagnostic]:
+    """Run every ISA cross-validation check."""
+    findings: list[Diagnostic] = []
+    findings.extend(check_counts())
+    findings.extend(check_classes())
+    findings.extend(check_semantics())
+    findings.extend(check_signatures())
+    return findings

@@ -1,0 +1,154 @@
+"""The assembly linter: clean programs pass, seeded defects are caught."""
+
+import pytest
+
+from repro.isa import codegen
+from repro.isa.assembler import assemble
+from repro.verify.asmcheck import SIGNATURES, lint_program, lint_source
+from repro.verify.diagnostics import Severity
+
+
+def codes(findings, severity=None):
+    return {
+        d.code
+        for d in findings
+        if severity is None or d.severity is severity
+    }
+
+
+# ----- clean inputs ----------------------------------------------------------
+
+
+def test_example_listings_lint_clean():
+    import examples.mom_assembly as mom_assembly
+
+    for name in ("DOT_PRODUCT", "SAD_16x8"):
+        findings = lint_source(getattr(mom_assembly, name), name=name)
+        assert findings == [], [str(d) for d in findings]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: codegen.mom_dot_product(0x1000, 0x2000, 64),
+        lambda: codegen.mom_sad(0x1000, 0x2000, 128),
+        lambda: codegen.mom_saturating_add(0x1000, 0x2000, 0x3000, 64),
+        lambda: codegen.mmx_dot_product(0x1000, 0x2000, 64),
+        lambda: codegen.mmx_saturating_add(0x1000, 0x2000, 0x3000, 64),
+    ],
+)
+def test_kernel_library_lints_clean(factory):
+    findings = lint_program(factory(), name="kernel")
+    assert findings == [], [str(d) for d in findings]
+
+
+def test_every_table_mnemonic_has_a_signature():
+    from repro.isa.mmx import MMX_OPCODES
+    from repro.isa.mom import MOM_OPCODES
+
+    for mnemonic in list(MMX_OPCODES) + list(MOM_OPCODES):
+        assert mnemonic in SIGNATURES, mnemonic
+
+
+def test_self_xor_zeroing_idiom_counts_as_definition():
+    findings = lint_source("pxor mm0, mm0, mm0\n", name="zero")
+    assert findings == [], [str(d) for d in findings]
+
+
+# ----- seeded defects (one per rule) ----------------------------------------
+
+
+def test_def_before_use_is_flagged_with_line():
+    findings = lint_source("li r1, 4\nadd r2, r1, r3\n", name="t")
+    bad = [d for d in findings if d.code == "ASM-DEF-BEFORE-USE"]
+    assert len(bad) == 1
+    assert bad[0].line == 2
+    assert "r3" in bad[0].message
+
+
+def test_stream_load_before_slr_set():
+    findings = lint_source("li r1, 4096\nvldq v0, r1, 0, 8\n", name="t")
+    assert "ASM-SLR-UNSET" in codes(findings)
+    # Setting the SLR first silences the rule.
+    clean = lint_source(
+        "li r1, 4096\nsetslri 8\nvldq v0, r1, 0, 8\n", name="t"
+    )
+    assert "ASM-SLR-UNSET" not in codes(clean)
+
+
+def test_slr_immediate_out_of_range():
+    findings = lint_source("setslri 17\n", name="t")
+    assert "ASM-SLR-RANGE" in codes(findings)
+
+
+def test_accumulator_read_before_write_is_error():
+    findings = lint_source("vrdaccsd mm0, a0\n", name="t")
+    assert "ASM-ACC-READ-UNWRITTEN" in codes(findings, Severity.ERROR)
+
+
+def test_accumulate_without_clear_is_warning():
+    source = "setslri 8\nvzero v0\nvaddaw a0, v0\n"
+    findings = lint_source(source, name="t")
+    assert "ASM-ACC-UNCLEARED" in codes(findings, Severity.WARNING)
+    cleared = lint_source(
+        "setslri 8\nvzero v0\nvclracc a0\nvaddaw a0, v0\n", name="t"
+    )
+    assert "ASM-ACC-UNCLEARED" not in codes(cleared)
+
+
+def test_arity_mismatch():
+    findings = lint_source("li r1, 1\nli r2, 2\npaddw mm0, mm1\n", name="t")
+    assert "ASM-ARITY" in codes(findings)
+
+
+def test_operand_class_mismatch():
+    findings = lint_source("li r1, 1\npaddw mm0, r1, r1\n", name="t")
+    assert "ASM-OPERAND-TYPE" in codes(findings)
+
+
+def test_register_index_out_of_range():
+    findings = lint_source("vzero v99\n", name="t")
+    assert "ASM-REG-RANGE" in codes(findings)
+
+
+def test_unknown_mnemonic():
+    findings = lint_source("frobnicate r1, r2\n", name="t")
+    assert "ASM-UNKNOWN-MNEMONIC" in codes(findings)
+
+
+def test_loop_to_missing_label():
+    findings = lint_source("li r1, 4\nloop r1, nowhere\n", name="t")
+    assert "ASM-UNDEF-LABEL" in codes(findings)
+
+
+def test_unused_label_is_warning():
+    findings = lint_source("top:\nli r1, 4\n", name="t")
+    assert "ASM-UNUSED-LABEL" in codes(findings, Severity.WARNING)
+
+
+def test_duplicate_label():
+    findings = lint_source("top:\nli r1, 1\ntop:\n", name="t")
+    assert "ASM-DUP-LABEL" in codes(findings)
+
+
+def test_unparseable_operand():
+    findings = lint_source("li r1, banana\n", name="t")
+    assert "ASM-BAD-OPERAND" in codes(findings)
+
+
+# ----- program front end -----------------------------------------------------
+
+
+def test_lint_program_catches_seeded_defect():
+    # Assembles fine (the assembler does no def-use analysis), but reads
+    # mm2 before anything writes it.
+    program = assemble("paddw mm0, mm1, mm2\n")
+    findings = lint_program(program, name="bad")
+    assert "ASM-DEF-BEFORE-USE" in codes(findings)
+
+
+def test_lint_program_reports_instruction_index():
+    program = assemble("li r1, 4096\nvldq v0, r1, 0, 8\n")
+    findings = lint_program(program, name="bad")
+    slr = [d for d in findings if d.code == "ASM-SLR-UNSET"]
+    assert len(slr) == 1 and slr[0].line == 2

@@ -1,0 +1,111 @@
+"""ISA cross-validation: the seed tables pass; seeded drift is caught."""
+
+import dataclasses
+
+from repro.isa.mmx import MMX_OPCODES
+from repro.isa.mom import MOM_OPCODES
+from repro.verify import isacheck
+from repro.verify.isacheck import (
+    check_classes,
+    check_counts,
+    check_isa,
+    check_semantics,
+    check_signatures,
+    mom_base_mnemonic,
+)
+
+
+def codes(findings):
+    return {d.code for d in findings}
+
+
+# ----- the seed repository is clean -----------------------------------------
+
+
+def test_seed_tables_pass_every_check():
+    findings = check_isa()
+    assert findings == [], [str(d) for d in findings]
+
+
+def test_paper_opcode_counts_hold():
+    assert len(MMX_OPCODES) == 67
+    assert len(MOM_OPCODES) == 121
+    assert check_counts() == []
+
+
+def test_mom_base_mnemonic_handles_pack_forms():
+    # Plain element-wise ops gain the MMX "p" prefix; pack/unpack forms
+    # already carry it.
+    assert mom_base_mnemonic("vaddw") == "paddw"
+    assert mom_base_mnemonic("vpacksswb") == "packsswb"
+    assert mom_base_mnemonic("vpunpcklbw") == "punpcklbw"
+
+
+# ----- seeded drift (patch module globals, never the live tables) -----------
+
+
+def test_count_drift_is_reported(monkeypatch):
+    shrunk = dict(MMX_OPCODES)
+    shrunk.pop("paddw")
+    monkeypatch.setattr(isacheck, "MMX_OPCODES", shrunk)
+    findings = check_counts()
+    assert "ISA-COUNT" in codes(findings)
+
+
+def test_cross_table_duplicate_is_reported(monkeypatch):
+    collided = dict(MOM_OPCODES)
+    collided["paddw"] = MMX_OPCODES["paddw"]
+    monkeypatch.setattr(isacheck, "MOM_OPCODES", collided)
+    findings = check_counts()
+    assert "ISA-DUP" in codes(findings)
+
+
+def test_foreign_class_is_reported(monkeypatch):
+    spec = MMX_OPCODES["paddw"]
+    drifted = dict(MMX_OPCODES)
+    drifted["paddw"] = dataclasses.replace(
+        spec, sim_class=MOM_OPCODES["vaddw"].sim_class
+    )
+    monkeypatch.setattr(isacheck, "MMX_OPCODES", drifted)
+    findings = check_classes()
+    assert "ISA-FAMILY" in codes(findings)
+
+
+def test_orphan_mnemonic_is_reported(monkeypatch):
+    spec = MMX_OPCODES["paddw"]
+    drifted = dict(MMX_OPCODES)
+    drifted["pbogus"] = dataclasses.replace(spec, mnemonic="pbogus")
+    monkeypatch.setattr(isacheck, "MMX_OPCODES", drifted)
+    findings = check_semantics()
+    assert "ISA-ORPHAN" in codes(findings)
+
+
+def test_stale_timing_only_entry_is_reported(monkeypatch):
+    # vaddw reaches paddw through the generic path, so documenting it as
+    # timing-only would be stale.
+    monkeypatch.setattr(
+        isacheck,
+        "TIMING_ONLY_MNEMONICS",
+        isacheck.TIMING_ONLY_MNEMONICS | {"vaddw"},
+    )
+    findings = check_semantics()
+    assert "ISA-STALE-TIMING-ONLY" in codes(findings)
+
+
+def test_stale_set_member_is_reported(monkeypatch):
+    monkeypatch.setattr(
+        isacheck,
+        "TIMING_ONLY_MNEMONICS",
+        isacheck.TIMING_ONLY_MNEMONICS | {"vnotanop"},
+    )
+    findings = check_semantics()
+    assert "ISA-STALE-SET" in codes(findings)
+
+
+def test_missing_signature_is_reported(monkeypatch):
+    spec = MOM_OPCODES["vaddw"]
+    drifted = dict(MOM_OPCODES)
+    drifted["vnosig"] = dataclasses.replace(spec, mnemonic="vnosig")
+    monkeypatch.setattr(isacheck, "MOM_OPCODES", drifted)
+    findings = check_signatures()
+    assert "ISA-NO-SIGNATURE" in codes(findings)

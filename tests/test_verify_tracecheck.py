@@ -1,0 +1,111 @@
+"""Trace validation: generated traces are clean; corrupted ones are caught.
+
+Defects are injected by mutating already-built traces: the generator and
+the ``Instruction``/``ProgramMix`` constructors validate their inputs, so
+the only way a malformed trace reaches the simulator is through drift or
+a buggy loader — which is exactly what mutation models.
+"""
+
+import copy
+
+import pytest
+
+from repro.tracegen.mixes import WORKLOAD_MIXES
+from repro.tracegen.program import build_program_trace
+from repro.verify.tracecheck import check_instructions, check_mix, check_trace
+
+SCALE = 2e-5
+
+
+def codes(findings):
+    return {d.code for d in findings}
+
+
+@pytest.fixture()
+def mom_trace():
+    return build_program_trace("jpegenc", "mom", scale=SCALE)
+
+
+# ----- generated traces are clean -------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_MIXES))
+@pytest.mark.parametrize("isa", ["mmx", "mom"])
+def test_generated_traces_validate_clean(name, isa):
+    trace = build_program_trace(name, isa, scale=SCALE)
+    findings = check_trace(trace)
+    assert findings == [], [str(d) for d in findings]
+
+
+# ----- injected defects ------------------------------------------------------
+
+
+def test_unknown_isa_tag(mom_trace):
+    mom_trace.isa = "vliw"
+    assert "TRACE-ISA" in codes(check_instructions(mom_trace))
+
+
+def test_simd_class_in_scalar_only_trace(mom_trace):
+    # A scalar-only configuration must not see MOM (or MMX) classes.
+    mom_trace.isa = "scalar"
+    assert "TRACE-CLASS-FORBIDDEN" in codes(check_instructions(mom_trace))
+
+
+def test_mom_class_forbidden_in_mmx_trace(mom_trace):
+    mom_trace.isa = "mmx"
+    assert "TRACE-CLASS-FORBIDDEN" in codes(check_instructions(mom_trace))
+
+
+def test_dst_register_out_of_range(mom_trace):
+    inst = next(i for i in mom_trace.instructions if i.dst >= 0)
+    inst.dst = 0xFF00                     # unknown register class byte
+    assert "TRACE-DST-RANGE" in codes(check_instructions(mom_trace))
+
+
+def test_src_register_index_out_of_range(mom_trace):
+    inst = next(i for i in mom_trace.instructions if i.srcs)
+    rclass = inst.srcs[0] & ~0xFF
+    inst.srcs = (rclass | 0xFF,) + inst.srcs[1:]   # index 255 of its class
+    assert "TRACE-SRC-RANGE" in codes(check_instructions(mom_trace))
+
+
+def test_stream_length_out_of_range(mom_trace):
+    inst = next(i for i in mom_trace.instructions if i.is_stream)
+    inst.stream_length = 99
+    assert "TRACE-STREAM-LENGTH" in codes(check_instructions(mom_trace))
+
+
+def test_stream_length_on_scalar_opcode(mom_trace):
+    inst = next(i for i in mom_trace.instructions if not i.is_stream)
+    inst.stream_length = 4
+    assert "TRACE-STREAM-SCALAR" in codes(check_instructions(mom_trace))
+
+
+def test_non_positive_mem_size(mom_trace):
+    inst = next(i for i in mom_trace.instructions if i.is_mem)
+    inst.mem_size = 0
+    assert "TRACE-MEM-SIZE" in codes(check_instructions(mom_trace))
+
+
+def test_zero_stride_stream_is_warning(mom_trace):
+    inst = next(
+        i
+        for i in mom_trace.instructions
+        if i.is_mem and i.stream_length > 1
+    )
+    inst.stride = 0
+    assert "TRACE-ZERO-STRIDE" in codes(check_instructions(mom_trace))
+
+
+def test_mix_fractions_must_sum_to_one(mom_trace):
+    # ProgramMix is frozen and self-validating; traces share the registry
+    # instance, so corrupt a private copy.
+    broken = copy.copy(mom_trace.mix)
+    object.__setattr__(broken, "frac_int", broken.frac_int + 0.5)
+    mom_trace.mix = broken
+    assert "TRACE-MIX-SUM" in codes(check_mix(mom_trace))
+
+
+def test_non_positive_mmx_equivalent(mom_trace):
+    mom_trace.mmx_equivalent = 0
+    assert "TRACE-MMX-EQUIV" in codes(check_mix(mom_trace))
