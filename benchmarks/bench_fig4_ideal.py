@@ -4,9 +4,9 @@ from conftest import run_once
 from repro.analysis import run_fig4_ideal
 
 
-def test_fig4_ideal_memory(benchmark, bench_scale, bench_threads):
+def test_fig4_ideal_memory(benchmark, bench_scale, bench_threads, bench_runner):
     result = run_once(
-        benchmark, run_fig4_ideal, scale=bench_scale, threads=bench_threads
+        benchmark, run_fig4_ideal, scale=bench_scale, threads=bench_threads, runner=bench_runner
     )
     print("\n" + result.report)
     measured = result.measured

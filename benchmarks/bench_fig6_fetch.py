@@ -4,9 +4,9 @@ from conftest import run_once
 from repro.analysis import run_fig6_fetch
 
 
-def test_fig6_fetch_policies(benchmark, bench_scale, bench_threads):
+def test_fig6_fetch_policies(benchmark, bench_scale, bench_threads, bench_runner):
     result = run_once(
-        benchmark, run_fig6_fetch, scale=bench_scale, threads=bench_threads
+        benchmark, run_fig6_fetch, scale=bench_scale, threads=bench_threads, runner=bench_runner
     )
     print("\n" + result.report)
     top = max(bench_threads)

@@ -4,9 +4,9 @@ from conftest import run_once
 from repro.analysis import run_fig8_decoupled
 
 
-def test_fig8_decoupled_hierarchy(benchmark, bench_scale, bench_threads):
+def test_fig8_decoupled_hierarchy(benchmark, bench_scale, bench_threads, bench_runner):
     result = run_once(
-        benchmark, run_fig8_decoupled, scale=bench_scale, threads=bench_threads
+        benchmark, run_fig8_decoupled, scale=bench_scale, threads=bench_threads, runner=bench_runner
     )
     print("\n" + result.report)
     eipc = result.measured["eipc"]

@@ -4,9 +4,9 @@ from conftest import run_once
 from repro.analysis import run_fig9_summary
 
 
-def test_fig9_memory_organizations(benchmark, bench_scale, bench_threads):
+def test_fig9_memory_organizations(benchmark, bench_scale, bench_threads, bench_runner):
     result = run_once(
-        benchmark, run_fig9_summary, scale=bench_scale, threads=bench_threads
+        benchmark, run_fig9_summary, scale=bench_scale, threads=bench_threads, runner=bench_runner
     )
     print("\n" + result.report)
     eipc = result.measured["eipc"]

@@ -4,9 +4,9 @@ from conftest import run_once
 from repro.analysis import run_table4_cache
 
 
-def test_table4_cache_behaviour(benchmark, bench_scale, bench_threads):
+def test_table4_cache_behaviour(benchmark, bench_scale, bench_threads, bench_runner):
     result = run_once(
-        benchmark, run_table4_cache, scale=bench_scale, threads=bench_threads
+        benchmark, run_table4_cache, scale=bench_scale, threads=bench_threads, runner=bench_runner
     )
     print("\n" + result.report)
     low, high = min(bench_threads), max(bench_threads)

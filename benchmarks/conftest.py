@@ -11,6 +11,8 @@ import os
 
 import pytest
 
+from repro.analysis.runner import Runner
+
 #: Trace scale used by the benchmark suite (smaller = faster).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2e-5"))
 
@@ -28,6 +30,21 @@ def bench_scale():
 @pytest.fixture(scope="session")
 def bench_threads():
     return BENCH_THREADS
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """Session-shared run engine for the sweep benchmarks.
+
+    Sweeps that overlap — figure 5, table 4 and figure 6's round-robin
+    rows request identical simulation points — are simulated once per
+    session, so each benchmark times its *incremental* work, exactly as
+    ``scripts/run_experiments.py`` executes the full sweep.  Set
+    ``REPRO_BENCH_CACHE=<dir>`` to also persist results across suite
+    invocations.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    return Runner(cache_dir=cache_dir)
 
 
 def run_once(benchmark, func, *args, **kwargs):

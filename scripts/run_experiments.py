@@ -1,17 +1,40 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure at full experiment fidelity.
 
-Writes the combined report to stdout (tee it into EXPERIMENTS.md's data
-section).  Runtime is dominated by the 2x-scale simulations: expect a few
-minutes.
+All figures share one cached, deduplicated run engine
+(:mod:`repro.analysis.runner`): overlapping simulation points (figure 5
+/ figure 6's round-robin rows / table 4) are simulated once, results are
+persisted under ``results/.runcache/`` so re-running an unchanged sweep
+performs zero simulations, and cache misses fan out over ``--jobs``
+worker processes.  Serial and parallel sweeps, cold or warm, produce
+bit-identical reports.
 
-Usage:  python scripts/run_experiments.py [scale]
+The combined report goes to stdout and (unless ``--output -``) to
+``results/experiments_scale<scale>.txt``; machine-readable timing data
+lands in ``results/BENCH_experiments.json``.
+
+Runtime knobs:
+
+* ``--scale`` — trace fidelity (fraction of paper instruction counts;
+  default 1e-4 ≈ one trace instruction per 10k paper instructions).
+  Runtime grows roughly linearly with scale; 2e-5 suits smoke tests.
+* ``--jobs`` — worker processes for cache-missing simulations.
+
+Usage:  python scripts/run_experiments.py [--scale S] [--jobs N]
+            [--no-cache] [--output PATH|-]
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
 import sys
 import time
 
 from repro.analysis import (
+    Runner,
     run_breakdown_table3,
     run_fig4_ideal,
     run_fig5_real,
@@ -20,47 +43,278 @@ from repro.analysis import (
     run_fig9_summary,
     run_table4_cache,
 )
+from repro.analysis.runner import code_version
 
 #: Default fidelity: 1e-4 = one trace instruction per 10k paper instructions.
 DEFAULT_SCALE = 1e-4
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "results")
+CACHE_DIR = os.path.join(RESULTS_DIR, ".runcache")
+HOTLOOP_BASELINE = os.path.join(RESULTS_DIR, "hotloop_baseline.json")
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_SCALE
-    print(f"# Experiment run at scale={scale}\n")
+
+def scale_tag(scale: float) -> str:
+    """Compact scientific tag for filenames: 1e-4, 2e-5, 1.5e-3."""
+    mantissa, exponent = f"{scale:e}".split("e")
+    mantissa = mantissa.rstrip("0").rstrip(".")
+    return f"{mantissa}e{int(exponent)}"
+
+
+#: Child body for :func:`measure_hot_loop`.  The baseline figure was
+#: recorded in a fresh interpreter (min over back-to-back repeats), so
+#: the re-measurement runs in one too — timing inside the sweep process
+#: would charge its accumulated heap to the simulator under test.
+_HOTLOOP_CHILD = r"""
+import json, sys, time
+from repro.analysis.runner import memory_factory, workload_traces
+from repro.core.fetch import FetchPolicy
+from repro.core.params import SMTConfig
+from repro.core.smt import SMTProcessor
+
+
+def calibrate():
+    # Machine-speed calibration: the same fixed integer loop the
+    # baseline recording timed (inside a function, as here — module
+    # level would run on dict lookups and skew the comparison), so the
+    # baseline figure can be scaled to this machine's current speed
+    # (shared boxes drift +-30% between sessions).
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc += i ^ (i >> 3)
+    return time.perf_counter() - t0
+
+
+def main():
+    cfg = json.loads(sys.argv[1])
+    traces = workload_traces(
+        cfg["isa"], cfg["scale"], cfg["seed"], cfg["trace_dir"]
+    )
+    best = None
+    cycles = None
+    calibration = None
+    for __ in range(cfg["repeats"]):
+        t0 = time.perf_counter()
+        processor = SMTProcessor(
+            SMTConfig(isa=cfg["isa"], n_threads=cfg["n_threads"]),
+            memory_factory(cfg["memory"])(),
+            traces,
+            fetch_policy=FetchPolicy(cfg["fetch_policy"]),
+            completions_target=cfg["completions_target"],
+        )
+        result = processor.run()
+        elapsed = time.perf_counter() - t0
+        cycles = result.cycles
+        if best is None or elapsed < best:
+            best = elapsed
+        # Interleaved with the simulation repeats so both minima sample
+        # the same load window.
+        elapsed = calibrate()
+        if calibration is None or elapsed < calibration:
+            calibration = elapsed
+    print(json.dumps(
+        {"best": best, "cycles": cycles, "calibration": calibration}
+    ))
+
+
+main()
+"""
+
+
+def measure_hot_loop(runner: Runner, repeats: int = 8) -> dict | None:
+    """Re-time the reference hot-loop run against the recorded baseline.
+
+    ``results/hotloop_baseline.json`` pins the pre-optimization wall
+    time of one simulation (config + measurement protocol inside).
+    This runs the identical configuration on the current tree in a
+    fresh subprocess — trace construction is excluded, only
+    SMTProcessor construction + ``run()`` is measured, min over
+    ``repeats`` — and returns the before/after record for
+    BENCH_experiments.json.  Returns ``None`` when no baseline file is
+    present or the subprocess fails (the sweep still completes).
+    """
+    if not os.path.exists(HOTLOOP_BASELINE):
+        return None
+    with open(HOTLOOP_BASELINE) as handle:
+        baseline = json.load(handle)
+    cfg = baseline["config"]
+    payload = dict(cfg, repeats=repeats, trace_dir=runner.trace_dir)
+    if payload["trace_dir"]:
+        # Warm the on-disk trace cache so the child only deserializes.
+        runner.workload(cfg["isa"], cfg["scale"], cfg["seed"])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path
+        for path in (
+            os.path.join(REPO_ROOT, "src"),
+            os.environ.get("PYTHONPATH"),
+        )
+        if path
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _HOTLOOP_CHILD, json.dumps(payload)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        return None
+    measured = json.loads(proc.stdout.strip().splitlines()[-1])
+    # Scale the recorded baseline by the calibration drift so the ratio
+    # compares simulator versions, not machine moods.
+    machine_factor = measured["calibration"] / baseline["calibration_seconds"]
+    adjusted_before = baseline["before_seconds"] * machine_factor
+    record = {
+        "config": cfg,
+        "repeats": repeats,
+        "before_seconds": baseline["before_seconds"],
+        "machine_factor": round(machine_factor, 3),
+        "adjusted_before_seconds": round(adjusted_before, 4),
+        "after_seconds": round(measured["best"], 4),
+        "speedup": round(adjusted_before / measured["best"], 3),
+    }
+    if measured["cycles"] != baseline["cycles"]:
+        # The model changed since the baseline was recorded; the
+        # comparison is no longer like-for-like, so flag that instead
+        # of reporting a bogus speedup.
+        record["speedup"] = None
+        record["note"] = (
+            f"cycle count drifted from the baseline "
+            f"({measured['cycles']} vs {baseline['cycles']})"
+        )
+    return record
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scale_pos", nargs="?", type=float, default=None,
+        help="positional scale (backward compatible with the old CLI)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help=f"trace fidelity (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cache-missing runs (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result/trace cache (still dedups in process)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="report file (default results/experiments_scale<scale>.txt; "
+        "'-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is not None and args.scale_pos is not None:
+        parser.error("give the scale positionally or via --scale, not both")
+    args.scale = (
+        args.scale if args.scale is not None
+        else args.scale_pos if args.scale_pos is not None
+        else DEFAULT_SCALE
+    )
+    return args
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    scale = args.scale
+    runner = Runner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else CACHE_DIR,
+    )
+
+    lines: list[str] = []
+
+    def emit(*parts: str) -> None:
+        text = " ".join(parts)
+        print(text)
+        lines.append(text)
+
+    emit(f"# Experiment run at scale={scale:g} (jobs={args.jobs}, "
+         f"cache={'off' if args.no_cache else 'on'})\n")
     start = time.time()
+    timings: dict[str, dict] = {}
 
-    table3 = run_breakdown_table3(scale=scale)
-    print(table3.report, "\n")
+    def timed(name, fn, **kwargs):
+        before = runner.stats.snapshot()
+        t0 = time.time()
+        result = fn(scale=scale, runner=runner, **kwargs)
+        timings[name] = {
+            "wall_seconds": time.time() - t0,
+            **runner.stats.delta_since(before),
+        }
+        emit(result.report, "\n")
+        return result
 
-    fig4 = run_fig4_ideal(scale=scale)
-    print(fig4.report, "\n")
-
-    fig5 = run_fig5_real(scale=scale, ideal=fig4)
-    print(fig5.report, "\n")
-
-    table4 = run_table4_cache(scale=scale, fig5=fig5)
-    print(table4.report, "\n")
-
-    fig6 = run_fig6_fetch(scale=scale)
-    print(fig6.report, "\n")
-
-    fig8 = run_fig8_decoupled(scale=scale)
-    print(fig8.report, "\n")
-
-    fig9 = run_fig9_summary(scale=scale)
-    print(fig9.report, "\n")
+    timed("table3", run_breakdown_table3)
+    fig4 = timed("fig4", run_fig4_ideal)
+    fig5 = timed("fig5", run_fig5_real, ideal=fig4)
+    timed("table4", run_table4_cache, fig5=fig5)
+    fig6 = timed("fig6", run_fig6_fetch)
+    timed("fig8", run_fig8_decoupled)
+    timed("fig9", run_fig9_summary)
 
     # Section 5.3's scalar/vector mixing statistic at 8 threads.
     for isa in ("mmx", "mom"):
         run = fig6.runs[(isa, "rr", 8)]
-        print(
+        emit(
             f"{isa.upper()} vector-only issue cycles @8T (RR): "
             f"{run.vector_only_fraction:.1%} "
             f"(paper: {'1%' if isa == 'mmx' else '4%'})"
         )
 
-    print(f"\ntotal wall time: {time.time() - start:.0f} s")
+    hot_loop = measure_hot_loop(runner)
+    if hot_loop is not None and hot_loop.get("speedup"):
+        emit(
+            f"\nhot loop (mom/8T/conventional/rr @1e-4): "
+            f"{hot_loop['adjusted_before_seconds']:.2f} s -> "
+            f"{hot_loop['after_seconds']:.2f} s "
+            f"({hot_loop['speedup']:.2f}x vs pre-optimization baseline, "
+            f"machine-drift normalized)"
+        )
+
+    wall = time.time() - start
+    stats = runner.stats
+    emit(
+        f"\nruns: {stats.requested} requested, {stats.deduplicated} deduped, "
+        f"{stats.memo_hits + stats.disk_hits} cached, {stats.simulated} simulated"
+    )
+    emit(f"total wall time: {wall:.0f} s")
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    if args.output != "-":
+        report_path = args.output or os.path.join(
+            RESULTS_DIR, f"experiments_scale{scale_tag(scale)}.txt"
+        )
+        with open(report_path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"report written to {report_path}")
+
+    bench = {
+        "scale": scale,
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "code_version": code_version(),
+        "wall_seconds": wall,
+        "runner": stats.snapshot(),
+        "instructions_per_second": (
+            stats.sim_instructions / stats.sim_seconds
+            if stats.sim_seconds else None
+        ),
+        "figures": timings,
+    }
+    if hot_loop is not None:
+        bench["hot_loop"] = hot_loop
+    bench_path = os.path.join(RESULTS_DIR, "BENCH_experiments.json")
+    with open(bench_path, "w") as handle:
+        json.dump(bench, handle, indent=2)
+        handle.write("\n")
+    print(f"timing data written to {bench_path}")
 
 
 if __name__ == "__main__":

@@ -12,8 +12,12 @@ from repro.analysis.experiments import (
     simulate,
 )
 from repro.analysis.reporting import format_table
+from repro.analysis.runner import RunRequest, Runner, RunnerStats
 
 __all__ = [
+    "RunRequest",
+    "Runner",
+    "RunnerStats",
     "ExperimentResult",
     "run_breakdown_table3",
     "run_fig4_ideal",

@@ -4,6 +4,15 @@ Each ``run_*`` function reproduces one experiment of section 5 and
 returns an :class:`ExperimentResult` holding the measured series, the
 paper's series and a formatted report.  The benchmark harness under
 ``benchmarks/`` calls these; the examples reuse them interactively.
+
+All drivers accept an optional :class:`repro.analysis.runner.Runner`.
+When several figures share one runner (as ``scripts/run_experiments.py``
+does), overlapping simulation points — figure 5, figure 6's round-robin
+rows and table 4 all need the same conventional-hierarchy sweeps — are
+simulated once, results are cached on disk between invocations, and
+cache-missing runs can fan out over worker processes.  Without a runner
+each driver creates a private serial one, which still deduplicates
+within the driver and memoizes the workload traces.
 """
 
 from __future__ import annotations
@@ -12,16 +21,12 @@ from dataclasses import dataclass, field
 
 from repro.analysis import paper
 from repro.analysis.reporting import format_table, paper_vs_measured
+from repro.analysis.runner import RunRequest, Runner, execute_request
 from repro.core.fetch import FetchPolicy
 from repro.core.metrics import RunResult
-from repro.core.params import SMTConfig
-from repro.core.smt import SMTProcessor
-from repro.memory.decoupled import DecoupledHierarchy
-from repro.memory.hierarchy import ConventionalHierarchy
-from repro.memory.perfect import PerfectMemory
-from repro.tracegen.mixes import PAPER_MOM_MINSTS, WORKLOAD_MIXES, predicted_counts
+from repro.tracegen.mixes import PAPER_MOM_MINSTS, WORKLOAD_MIXES
 from repro.tracegen.program import DEFAULT_SCALE, build_program_trace
-from repro.workloads.mediabench import build_workload_traces
+from repro.tracegen.serialize import TraceCache
 
 THREAD_SWEEP = (1, 2, 4, 8)
 ISAS = ("mmx", "mom")
@@ -41,16 +46,6 @@ class ExperimentResult:
         return self.report
 
 
-def _memory_factory(kind: str):
-    if kind == "perfect":
-        return PerfectMemory
-    if kind == "conventional":
-        return ConventionalHierarchy
-    if kind == "decoupled":
-        return DecoupledHierarchy
-    raise ValueError(f"unknown memory system {kind!r}")
-
-
 def simulate(
     isa: str,
     n_threads: int,
@@ -60,28 +55,41 @@ def simulate(
     seed: int = 0,
     completions_target: int = 8,
 ) -> RunResult:
-    """Run the full multiprogrammed workload on one machine configuration."""
-    traces = build_workload_traces(isa, scale=scale, seed=seed)
-    processor = SMTProcessor(
-        SMTConfig(isa=isa, n_threads=n_threads),
-        _memory_factory(memory)(),
-        traces,
-        fetch_policy=fetch_policy,
-        completions_target=completions_target,
+    """Run the full multiprogrammed workload on one machine configuration.
+
+    Convenience wrapper for interactive use; sweeps should build
+    :class:`RunRequest` batches and use a :class:`Runner` instead.
+    """
+    return execute_request(
+        RunRequest(
+            isa=isa,
+            n_threads=n_threads,
+            memory=memory,
+            fetch_policy=fetch_policy,
+            scale=scale,
+            seed=seed,
+            completions_target=completions_target,
+        )
     )
-    return processor.run()
 
 
 # --------------------------------------------------------------------- Table 3
 
-def run_breakdown_table3(scale: float = DEFAULT_SCALE) -> ExperimentResult:
+def run_breakdown_table3(
+    scale: float = DEFAULT_SCALE, runner: Runner | None = None
+) -> ExperimentResult:
     """Instruction breakdown and counts per program (paper Table 3)."""
+    trace_dir = runner.trace_dir if runner is not None else None
+    trace_cache = TraceCache(trace_dir) if trace_dir else None
     rows = []
     measured = {}
     for name, mix in WORKLOAD_MIXES.items():
         per_isa = {}
         for isa in ISAS:
-            trace = build_program_trace(name, isa, scale=scale)
+            if trace_cache is not None:
+                trace = trace_cache.get(name, isa, scale, 0)
+            else:
+                trace = build_program_trace(name, isa, scale=scale)
             fractions = trace.class_fractions()
             per_isa[isa] = {
                 "minsts": trace.expanded_length / (1e6 * scale),
@@ -129,16 +137,22 @@ def run_breakdown_table3(scale: float = DEFAULT_SCALE) -> ExperimentResult:
 # --------------------------------------------------------------------- Figure 4
 
 def run_fig4_ideal(
-    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """Performance with perfect cache (paper figure 4)."""
-    measured = {isa: {} for isa in ISAS}
-    runs = {}
-    for isa in ISAS:
-        for n in threads:
-            result = simulate(isa, n, memory="perfect", scale=scale)
-            measured[isa][n] = result.eipc
-            runs[(isa, n)] = result
+    runner = runner or Runner()
+    requests = {
+        (isa, n): RunRequest(isa, n, memory="perfect", scale=scale)
+        for isa in ISAS
+        for n in threads
+    }
+    results = runner.run_batch(list(requests.values()))
+    runs = {key: results[req] for key, req in requests.items()}
+    measured = {
+        isa: {n: runs[(isa, n)].eipc for n in threads} for isa in ISAS
+    }
     rows = [
         [f"{isa.upper()} T={n}", measured[isa][n], paper.FIG4_IDEAL[isa].get(n, float("nan"))]
         for isa in ISAS
@@ -170,16 +184,21 @@ def run_fig5_real(
     scale: float = DEFAULT_SCALE,
     threads=THREAD_SWEEP,
     ideal: ExperimentResult | None = None,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """Performance under the real memory system (paper figure 5)."""
-    ideal = ideal or run_fig4_ideal(scale=scale, threads=threads)
-    measured = {isa: {} for isa in ISAS}
-    runs = {}
-    for isa in ISAS:
-        for n in threads:
-            result = simulate(isa, n, memory="conventional", scale=scale)
-            measured[isa][n] = result.eipc
-            runs[(isa, n)] = result
+    runner = runner or Runner()
+    ideal = ideal or run_fig4_ideal(scale=scale, threads=threads, runner=runner)
+    requests = {
+        (isa, n): RunRequest(isa, n, memory="conventional", scale=scale)
+        for isa in ISAS
+        for n in threads
+    }
+    results = runner.run_batch(list(requests.values()))
+    runs = {key: results[req] for key, req in requests.items()}
+    measured = {
+        isa: {n: runs[(isa, n)].eipc for n in threads} for isa in ISAS
+    }
     rows = []
     degradation = {}
     for isa in ISAS:
@@ -222,20 +241,31 @@ def run_table4_cache(
     scale: float = DEFAULT_SCALE,
     threads=THREAD_SWEEP,
     fig5: ExperimentResult | None = None,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
-    """Cache behaviour vs. thread count (paper table 4)."""
-    runs = fig5.runs if fig5 is not None else None
+    """Cache behaviour vs. thread count (paper table 4).
+
+    The simulation points are exactly figure 5's conventional-hierarchy
+    sweep; with a shared runner (or an explicit ``fig5``) they are never
+    re-simulated.
+    """
+    if fig5 is not None:
+        runs = fig5.runs
+    else:
+        runner = runner or Runner()
+        requests = {
+            (isa, n): RunRequest(isa, n, memory="conventional", scale=scale)
+            for isa in ISAS
+            for n in threads
+        }
+        results = runner.run_batch(list(requests.values()))
+        runs = {key: results[req] for key, req in requests.items()}
     measured = {"icache_hit": {}, "l1_hit": {}, "l1_latency": {}}
     for isa in ISAS:
         for metric in measured:
             measured[metric][isa] = {}
         for n in threads:
-            result = (
-                runs[(isa, n)]
-                if runs
-                else simulate(isa, n, memory="conventional", scale=scale)
-            )
-            mem = result.memory
+            mem = runs[(isa, n)].memory
             measured["icache_hit"][isa][n] = mem.icache.hit_rate
             measured["l1_hit"][isa][n] = mem.l1.hit_rate
             measured["l1_latency"][isa][n] = mem.l1.mean_latency
@@ -266,8 +296,10 @@ def run_fig6_fetch(
     scale: float = DEFAULT_SCALE,
     threads=THREAD_SWEEP,
     memory: str = "conventional",
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """Fetch-policy impact on the conventional hierarchy (figure 6)."""
+    runner = runner or Runner()
     policies = {
         "mmx": (FetchPolicy.RR, FetchPolicy.ICOUNT, FetchPolicy.BALANCE),
         "mom": (
@@ -277,18 +309,23 @@ def run_fig6_fetch(
             FetchPolicy.BALANCE,
         ),
     }
-    measured = {isa: {} for isa in ISAS}
-    runs = {}
-    for isa in ISAS:
-        for policy in policies[isa]:
-            series = {}
-            for n in threads:
-                result = simulate(
-                    isa, n, memory=memory, fetch_policy=policy, scale=scale
-                )
-                series[n] = result.eipc
-                runs[(isa, policy.value, n)] = result
-            measured[isa][policy.value] = series
+    requests = {
+        (isa, policy.value, n): RunRequest(
+            isa, n, memory=memory, fetch_policy=policy.value, scale=scale
+        )
+        for isa in ISAS
+        for policy in policies[isa]
+        for n in threads
+    }
+    results = runner.run_batch(list(requests.values()))
+    runs = {key: results[req] for key, req in requests.items()}
+    measured = {
+        isa: {
+            policy.value: {n: runs[(isa, policy.value, n)].eipc for n in threads}
+            for policy in policies[isa]
+        }
+        for isa in ISAS
+    }
     rows = []
     for isa in ISAS:
         for policy, series in measured[isa].items():
@@ -323,10 +360,14 @@ def run_fig6_fetch(
 # --------------------------------------------------------------------- Figure 8
 
 def run_fig8_decoupled(
-    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """Fetch-policy impact under the decoupled hierarchy (figure 8)."""
-    result = run_fig6_fetch(scale=scale, threads=threads, memory="decoupled")
+    result = run_fig6_fetch(
+        scale=scale, threads=threads, memory="decoupled", runner=runner
+    )
     result.name = "fig8"
     return result
 
@@ -334,7 +375,9 @@ def run_fig8_decoupled(
 # --------------------------------------------------------------------- Figure 9
 
 def run_fig9_summary(
-    scale: float = DEFAULT_SCALE, threads=THREAD_SWEEP
+    scale: float = DEFAULT_SCALE,
+    threads=THREAD_SWEEP,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """Ideal vs. conventional vs. decoupled memory organizations (fig 9).
 
@@ -343,23 +386,25 @@ def run_fig9_summary(
     (see figure 6), so this summary uses the neutral round-robin policy
     with a doubled completion target for a steadier measurement window.
     """
-    measured = {isa: {} for isa in ISAS}
-    runs = {}
-    for isa in ISAS:
-        for memory in ("perfect", "conventional", "decoupled"):
-            series = {}
-            for n in threads:
-                result = simulate(
-                    isa,
-                    n,
-                    memory=memory,
-                    fetch_policy=FetchPolicy.RR,
-                    scale=scale,
-                    completions_target=16,
-                )
-                series[n] = result.eipc
-                runs[(isa, memory, n)] = result
-            measured[isa][memory] = series
+    runner = runner or Runner()
+    memories = ("perfect", "conventional", "decoupled")
+    requests = {
+        (isa, memory, n): RunRequest(
+            isa, n, memory=memory, scale=scale, completions_target=16
+        )
+        for isa in ISAS
+        for memory in memories
+        for n in threads
+    }
+    results = runner.run_batch(list(requests.values()))
+    runs = {key: results[req] for key, req in requests.items()}
+    measured = {
+        isa: {
+            memory: {n: runs[(isa, memory, n)].eipc for n in threads}
+            for memory in memories
+        }
+        for isa in ISAS
+    }
     rows = []
     for isa in ISAS:
         for memory, series in measured[isa].items():
@@ -393,6 +438,6 @@ def run_fig9_summary(
             "degradation": paper.FIG9_DEGRADATION,
             "speedup": paper.SUMMARY_SPEEDUP,
         },
-        report,
-        runs,
+        runs=runs,
+        report=report,
     )

@@ -1,0 +1,401 @@
+"""The experiment run engine: fingerprinted, deduplicated, parallel, cached.
+
+Every figure/table driver describes the simulations it needs as
+:class:`RunRequest` values and hands them to a shared :class:`Runner`.
+The runner then
+
+* **fingerprints** each request — ISA, thread count, memory system,
+  fetch policy, trace scale, seed, completion target, plus a hash of the
+  simulation-relevant source code — so a result is reusable exactly when
+  rerunning the simulation would reproduce it bit for bit;
+* **deduplicates** requests: figures 5/6 and table 4 (for example) share
+  their conventional-hierarchy round-robin points, which are simulated
+  once per process no matter how many figures ask;
+* **fans out** cache-missing runs across a ``ProcessPoolExecutor`` when
+  ``jobs > 1`` — runs are independent and deterministically seeded, so
+  parallel and serial execution produce bit-identical results;
+* **persists** results as JSON under a cache directory (the experiment
+  script uses ``results/.runcache/``), keyed by the fingerprint, so
+  re-running an unchanged sweep performs zero simulations and any code
+  or configuration change transparently invalidates stale entries.
+
+Trace generation is cached the same way: workload traces are memoized in
+process and, when a cache directory is configured, persisted via
+:class:`repro.tracegen.serialize.TraceCache` so every process of a sweep
+parses each trace once instead of regenerating it per run.
+
+All results returned by the runner — serial, parallel, cold or warm
+cache — pass through the same JSON round-trip
+(:func:`result_to_dict` / :func:`result_from_dict`), which is lossless
+(Python's JSON float serialization round-trips exactly), making
+bit-identical reports a structural property rather than an aspiration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+
+import repro
+from repro.core.fetch import FetchPolicy
+from repro.core.metrics import RunResult
+from repro.core.params import SMTConfig
+from repro.core.smt import SMTProcessor
+from repro.memory.decoupled import DecoupledHierarchy
+from repro.memory.hierarchy import ConventionalHierarchy
+from repro.memory.interface import CacheStats, MemoryStats
+from repro.memory.perfect import PerfectMemory
+from repro.tracegen.program import DEFAULT_SCALE, Trace
+from repro.tracegen.serialize import TraceCache
+from repro.workloads.mediabench import build_workload_traces
+
+#: Bumped when the result serialization format changes incompatibly.
+RESULT_FORMAT = 1
+
+#: Subpackages whose source determines simulation results.  The analysis
+#: layer (drivers, reporting) is deliberately excluded: rewording a
+#: report must not invalidate cached simulations.
+_SIMULATION_PACKAGES = ("core", "memory", "isa", "tracegen", "workloads")
+
+_MEMORY_FACTORIES = {
+    "perfect": PerfectMemory,
+    "conventional": ConventionalHierarchy,
+    "decoupled": DecoupledHierarchy,
+}
+
+
+def memory_factory(kind: str):
+    """Memory-system class for a configuration name."""
+    try:
+        return _MEMORY_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(f"unknown memory system {kind!r}") from None
+
+
+_code_version_cache: str | None = None
+
+
+def code_version() -> str:
+    """Hash of the simulation-relevant source tree.
+
+    Part of every run fingerprint: editing the core, the memory models,
+    the ISA tables, the trace generator or the workloads invalidates all
+    cached results, while analysis-layer edits do not.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for package in _SIMULATION_PACKAGES:
+            package_dir = os.path.join(root, package)
+            for dirpath, dirnames, filenames in sorted(os.walk(package_dir)):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    digest.update(os.path.relpath(path, root).encode())
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation point of an experiment sweep.
+
+    Everything that determines the simulation's outcome is a field here
+    (the code version is added by the fingerprint); two equal requests
+    are guaranteed to produce bit-identical results.
+    """
+
+    isa: str
+    n_threads: int
+    memory: str = "conventional"
+    fetch_policy: str = "rr"
+    scale: float = DEFAULT_SCALE
+    seed: int = 0
+    completions_target: int = 8
+
+    def __post_init__(self):
+        # Normalize enum-typed policies so RunRequest("mmx", 1,
+        # fetch_policy=FetchPolicy.RR) and the string form are the same
+        # request (and hash identically).
+        if isinstance(self.fetch_policy, FetchPolicy):
+            object.__setattr__(self, "fetch_policy", self.fetch_policy.value)
+        object.__setattr__(self, "scale", float(self.scale))
+
+    def fingerprint(self, version: str | None = None) -> str:
+        """Stable cache key: request fields + code version + format."""
+        payload = asdict(self)
+        payload["scale"] = repr(self.scale)
+        payload["code_version"] = version or code_version()
+        payload["result_format"] = RESULT_FORMAT
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:40]
+
+
+# ------------------------------------------------------------------ results
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Serialize a :class:`RunResult` to JSON-safe plain data."""
+    return asdict(result)
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Reconstruct a :class:`RunResult` from :func:`result_to_dict` data."""
+    payload = dict(data)
+    mem = payload.pop("memory")
+    cache_fields = {"icache", "l1", "l2"}
+    memory = MemoryStats(
+        **{
+            key: CacheStats(**value) if key in cache_fields else value
+            for key, value in mem.items()
+        }
+    )
+    return RunResult(memory=memory, **payload)
+
+
+# ------------------------------------------------------------------ traces
+
+#: In-process memo of whole-workload trace lists.  Traces are immutable
+#: and generation is deterministic, so sharing them between runs (and
+#: with the drivers) is safe; the memo is bounded because large-scale
+#: trace lists are tens of megabytes each.
+_WORKLOAD_MEMO: dict[tuple, list[Trace]] = {}
+_WORKLOAD_MEMO_LIMIT = 6
+
+
+def workload_traces(
+    isa: str,
+    scale: float,
+    seed: int = 0,
+    trace_dir: str | None = None,
+) -> list[Trace]:
+    """The §5.1 workload's traces, memoized in process and on disk.
+
+    ``trace_dir`` is part of the memo key so that a cache-directory
+    runner always persists its traces even when a cacheless run already
+    memoized the same workload.
+    """
+    key = (isa, float(scale), int(seed), trace_dir)
+    traces = _WORKLOAD_MEMO.get(key)
+    if traces is None:
+        cache = TraceCache(trace_dir) if trace_dir else None
+        traces = build_workload_traces(isa, scale=scale, seed=seed, cache=cache)
+        if len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_LIMIT:
+            _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
+        _WORKLOAD_MEMO[key] = traces
+    return traces
+
+
+# ------------------------------------------------------------------ execution
+
+
+def execute_request(
+    request: RunRequest, trace_dir: str | None = None
+) -> RunResult:
+    """Run one simulation point (no result caching at this layer)."""
+    traces = workload_traces(
+        request.isa, request.scale, request.seed, trace_dir
+    )
+    processor = SMTProcessor(
+        SMTConfig(isa=request.isa, n_threads=request.n_threads),
+        memory_factory(request.memory)(),
+        traces,
+        fetch_policy=FetchPolicy(request.fetch_policy),
+        completions_target=request.completions_target,
+    )
+    return processor.run()
+
+
+def _pool_execute(args: tuple) -> dict:
+    """Worker-process entry point: simulate and return plain data."""
+    request, trace_dir = args
+    return result_to_dict(execute_request(request, trace_dir))
+
+
+# ------------------------------------------------------------------ runner
+
+
+@dataclass
+class RunnerStats:
+    """What a runner did on behalf of its callers."""
+
+    requested: int = 0
+    deduplicated: int = 0      # duplicate requests folded away
+    memo_hits: int = 0         # served from the in-process memo
+    disk_hits: int = 0         # served from the on-disk cache
+    simulated: int = 0         # actually executed
+    sim_seconds: float = 0.0   # wall time spent executing
+    sim_instructions: int = 0  # committed instructions across executed runs
+    sim_cycles: int = 0        # simulated cycles across executed runs
+
+    def snapshot(self) -> dict:
+        return asdict(self)
+
+    def delta_since(self, before: dict) -> dict:
+        return {
+            field.name: getattr(self, field.name) - before[field.name]
+            for field in fields(self)
+        }
+
+
+class Runner:
+    """Executes batches of run requests with dedup, caching and fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache-missing runs.  ``1`` executes in
+        process; higher values fan out over a ``ProcessPoolExecutor``.
+        Results are bit-identical either way.
+    cache_dir:
+        Directory for the on-disk result cache (and, under ``traces/``,
+        the trace cache).  ``None`` disables persistence — the runner
+        still deduplicates and memoizes within the process.
+    version:
+        Override for the code-version component of fingerprints (tests
+        use this to exercise invalidation without editing source files).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        version: str | None = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.version = version
+        self.stats = RunnerStats()
+        self._memo: dict[RunRequest, RunResult] = {}
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ----- cache plumbing ---------------------------------------------------
+
+    @property
+    def trace_dir(self) -> str | None:
+        if not self.cache_dir:
+            return None
+        path = os.path.join(self.cache_dir, "traces")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _cache_path(self, request: RunRequest) -> str | None:
+        if not self.cache_dir:
+            return None
+        return os.path.join(
+            self.cache_dir, request.fingerprint(self.version) + ".json"
+        )
+
+    def _cache_load(self, request: RunRequest) -> RunResult | None:
+        path = self._cache_path(request)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("result_format") != RESULT_FORMAT:
+            return None
+        return result_from_dict(payload["result"])
+
+    def _cache_store(self, request: RunRequest, result: RunResult) -> None:
+        path = self._cache_path(request)
+        if path is None:
+            return
+        payload = {
+            "result_format": RESULT_FORMAT,
+            "code_version": self.version or code_version(),
+            "request": asdict(request),
+            "result": result_to_dict(result),
+            "saved_at": time.time(),
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+    # ----- execution --------------------------------------------------------
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute (or recall) a single request."""
+        return self.run_batch([request])[request]
+
+    def run_batch(
+        self, requests: list[RunRequest]
+    ) -> dict[RunRequest, RunResult]:
+        """Execute a batch, deduplicated, in parallel when configured.
+
+        Returns a mapping from each distinct request to its result;
+        duplicate requests in the batch map to the single shared result.
+        """
+        self.stats.requested += len(requests)
+        unique: list[RunRequest] = []
+        seen: set[RunRequest] = set()
+        for request in requests:
+            if request not in seen:
+                seen.add(request)
+                unique.append(request)
+        self.stats.deduplicated += len(requests) - len(unique)
+
+        todo: list[RunRequest] = []
+        for request in unique:
+            if request in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            cached = self._cache_load(request)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memo[request] = cached
+                continue
+            todo.append(request)
+
+        if todo:
+            started = time.perf_counter()
+            trace_dir = self.trace_dir
+            if self.jobs > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(todo))
+                ) as pool:
+                    payloads = list(
+                        pool.map(
+                            _pool_execute,
+                            [(request, trace_dir) for request in todo],
+                        )
+                    )
+            else:
+                payloads = [
+                    result_to_dict(execute_request(request, trace_dir))
+                    for request in todo
+                ]
+            self.stats.sim_seconds += time.perf_counter() - started
+            for request, payload in zip(todo, payloads):
+                # Every result passes through the same round-trip the
+                # disk cache uses, so cold/warm and serial/parallel runs
+                # are bit-identical by construction.
+                result = result_from_dict(
+                    json.loads(json.dumps(payload))
+                )
+                self.stats.simulated += 1
+                self.stats.sim_instructions += result.committed_instructions
+                self.stats.sim_cycles += result.cycles
+                self._memo[request] = result
+                self._cache_store(request, result)
+
+        return {request: self._memo[request] for request in unique}
+
+    # ----- trace access -----------------------------------------------------
+
+    def workload(self, isa: str, scale: float, seed: int = 0) -> list[Trace]:
+        """Workload traces through the runner's trace cache."""
+        return workload_traces(isa, scale, seed, self.trace_dir)

@@ -14,38 +14,52 @@ from __future__ import annotations
 class GsharePredictor:
     """Classic gshare: PC xor global-history indexes 2-bit counters."""
 
+    __slots__ = (
+        "table_bits",
+        "history_bits",
+        "_table",
+        "_table_mask",
+        "_history_mask",
+        "_history",
+        "lookups",
+        "mispredicts",
+    )
+
     def __init__(self, table_bits: int = 12, history_bits: int = 6):
         if table_bits < 2 or history_bits < 1:
             raise ValueError("bad predictor geometry")
         self.table_bits = table_bits
         self.history_bits = history_bits
         self._table = [2] * (1 << table_bits)   # weakly taken
+        self._table_mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
         self._history: dict[int, int] = {}
         self.lookups = 0
         self.mispredicts = 0
 
     def _index(self, thread: int, pc: int) -> int:
         history = self._history.get(thread, 0)
-        return ((pc >> 2) ^ history) & ((1 << self.table_bits) - 1)
+        return ((pc >> 2) ^ history) & self._table_mask
 
     def predict_and_update(self, thread: int, pc: int, taken: bool) -> bool:
         """Predict a branch, train the tables, return correctness."""
-        index = self._index(thread, pc)
-        counter = self._table[index]
-        prediction = counter >= 2
-        correct = prediction == taken
+        history = self._history.get(thread, 0)
+        index = ((pc >> 2) ^ history) & self._table_mask
+        table = self._table
+        counter = table[index]
+        correct = (counter >= 2) == taken
         self.lookups += 1
         if not correct:
             self.mispredicts += 1
         # 2-bit saturating counter update.
-        if taken and counter < 3:
-            self._table[index] = counter + 1
-        elif not taken and counter > 0:
-            self._table[index] = counter - 1
-        history = self._history.get(thread, 0)
+        if taken:
+            if counter < 3:
+                table[index] = counter + 1
+        elif counter > 0:
+            table[index] = counter - 1
         self._history[thread] = (
             (history << 1) | (1 if taken else 0)
-        ) & ((1 << self.history_bits) - 1)
+        ) & self._history_mask
         return correct
 
     def reset_thread(self, thread: int) -> None:

@@ -13,7 +13,23 @@ from collections import deque
 
 
 class IssueQueue:
-    """One issue queue with bounded capacity and a FIFO ready list."""
+    """One issue queue with bounded capacity and a FIFO ready list.
+
+    The SMT core's issue/dispatch stages inline the bookkeeping these
+    methods perform (including the sanitizer hooks) for speed; the
+    methods remain the reference implementation and the API other
+    drivers and the tests use.  ``__slots__`` keeps the per-queue
+    attribute access cheap.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "occupancy",
+        "ready",
+        "issued_total",
+        "sanitizer",
+    )
 
     def __init__(self, name: str, capacity: int):
         if capacity < 1:

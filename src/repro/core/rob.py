@@ -13,7 +13,14 @@ from collections import deque
 
 
 class GraduationWindow:
-    """Shared-capacity reorder window with per-thread FIFOs."""
+    """Shared-capacity reorder window with per-thread FIFOs.
+
+    The SMT core's commit/dispatch stages inline insert/retire (with the
+    sanitizer hooks preserved) for speed; these methods remain the
+    reference implementation used by other drivers and the tests.
+    """
+
+    __slots__ = ("capacity", "occupancy", "_fifos", "sanitizer")
 
     def __init__(self, capacity: int, n_threads: int):
         if capacity < 1:

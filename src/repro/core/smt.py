@@ -18,10 +18,18 @@ cycle are visible one cycle later:
 * **fetch** — up to 2 threads x 4 instructions through the I-cache,
   thread order set by the fetch policy; branch mispredictions block the
   thread until resolution (trace-driven squash model).
+
+The stage bodies are written for speed: opcode metadata is read from
+flat tuples indexed by the integer opcode, queue/window bookkeeping is
+inlined (with the sanitizer hooks preserved as single ``is not None``
+tests), and per-cycle structures are preallocated.  Semantics are
+bit-identical to the straightforward formulation — the experiment
+runner's cache fingerprints rely on that.
 """
 
 from __future__ import annotations
 
+from collections import deque
 
 from repro.core.branch import GsharePredictor
 from repro.core.execute import VectorUnit
@@ -32,13 +40,22 @@ from repro.core.queues import IssueQueue
 from repro.core.rob import GraduationWindow
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OPCODE_INFO, Opcode, Queue
-from repro.isa.registers import NO_REG, reg_class
+from repro.isa.registers import NO_REG, RegisterClass
 from repro.memory.interface import AccessType, MemorySystem
 from repro.tracegen.program import Trace
 from repro.workloads.multiprog import MultiprogramScheduler
 
 _STATE_WAITING = 0
 _STATE_DONE = 2
+
+_CLASS_SHIFT = 8          # matches repro.isa.registers._CLASS_SHIFT
+
+# The rename map is a flat list indexed by the packed register id
+# ``(class << _CLASS_SHIFT) | index``.  NO_REG is -1, which Python
+# aliases onto the last slot — (ACC, index 255) — but no architected
+# register can occupy it (every logical count is far below 256), and
+# writes are guarded by ``dst != NO_REG``, so that slot stays None.
+_RENAME_SLOTS = len(RegisterClass) << _CLASS_SHIFT
 
 # MMX packed loads/stores are single 64-bit references with no stream
 # semantics; they travel the scalar ports (and L1) even in the decoupled
@@ -52,6 +69,18 @@ _MEM_KIND = {
     Opcode.MOM_STORE: AccessType.VECTOR_STORE,
 }
 
+# Flat per-opcode tables: tuple indexing on the IntEnum opcode is much
+# cheaper than OPCODE_INFO dict lookups plus attribute chains in the
+# per-instruction hot loops below.
+_INFO = tuple(OPCODE_INFO[op] for op in Opcode)
+_QUEUE_OF = tuple(info.queue for info in _INFO)
+_LATENCY = tuple(info.latency for info in _INFO)
+_IS_MEM = tuple(info.is_mem for info in _INFO)
+_IS_STREAM = tuple(info.is_stream for info in _INFO)
+_IS_BRANCH = tuple(info.is_branch for info in _INFO)
+_IS_SIMD = tuple(info.is_simd for info in _INFO)
+_MEM_KIND_OF = tuple(_MEM_KIND.get(op) for op in Opcode)
+
 
 class InFlight:
     """Dynamic state of one dispatched instruction."""
@@ -64,6 +93,7 @@ class InFlight:
         "dependents",
         "mispredicted",
         "squashed",
+        "queue",
     )
 
     def __init__(self, inst: Instruction, thread: int, mispredicted: bool):
@@ -71,9 +101,15 @@ class InFlight:
         self.thread = thread
         self.state = _STATE_WAITING
         self.deps = 0
-        self.dependents: list[InFlight] = []
+        #: Lazily allocated: most instructions complete with no waiters,
+        #: so the list is only created when a dependent first registers.
+        self.dependents: list[InFlight] | None = None
         self.mispredicted = mispredicted
         self.squashed = False
+        #: The IssueQueue this entry dispatched into (set at dispatch);
+        #: lets the completion stage wake dependents without re-deriving
+        #: the queue from the opcode.
+        self.queue: IssueQueue | None = None
 
 
 class ThreadContext:
@@ -82,6 +118,7 @@ class ThreadContext:
     __slots__ = (
         "index",
         "trace",
+        "trace_len",
         "fetch_idx",
         "decode",
         "rename",
@@ -97,9 +134,10 @@ class ThreadContext:
     def __init__(self, index: int):
         self.index = index
         self.trace: Trace | None = None
+        self.trace_len = 0
         self.fetch_idx = 0
-        self.decode: list = []
-        self.rename: dict[int, InFlight] = {}
+        self.decode: deque = deque()
+        self.rename: list[InFlight | None] = [None] * _RENAME_SLOTS
         self.fetch_blocked = False
         self.fetch_stall_until = 0
         self.fetched_vector_last = False
@@ -110,9 +148,10 @@ class ThreadContext:
 
     def assign(self, trace: Trace) -> None:
         self.trace = trace
+        self.trace_len = len(trace.instructions)
         self.fetch_idx = 0
         self.decode.clear()
-        self.rename.clear()
+        self.rename = [None] * _RENAME_SLOTS
         self.fetch_blocked = False
         self.fetched_vector_last = False
         self.trace_expanded = trace.expanded_length
@@ -120,7 +159,7 @@ class ThreadContext:
 
     @property
     def fetch_done(self) -> bool:
-        return self.trace is None or self.fetch_idx >= len(self.trace.instructions)
+        return self.trace is None or self.fetch_idx >= self.trace_len
 
 
 class SMTProcessor:
@@ -164,6 +203,18 @@ class SMTProcessor:
             Queue.MEM: config.issue_mem,
             Queue.SIMD: config.issue_simd,
         }
+        # Flat issue plan in queue declaration order, and a queue table
+        # indexed by the Queue enum value for dispatch/wakeup.
+        self._issue_plan = tuple(
+            (queue, self._issue_width[queue_id], queue_id is Queue.SIMD)
+            for queue_id, queue in self.queues.items()
+        )
+        self._queue_table = tuple(
+            self.queues[Queue(i)] for i in range(len(Queue))
+        )
+        # Opcode -> IssueQueue object directly, folding the _QUEUE_OF hop
+        # into construction so dispatch does a single tuple index.
+        self._queue_of_op = tuple(self._queue_table[q] for q in _QUEUE_OF)
         self.window = GraduationWindow(
             config.resources.graduation_window, config.n_threads
         )
@@ -187,6 +238,12 @@ class SMTProcessor:
             slot.assign(assignment.trace)
         self._wake: dict[int, list[InFlight]] = {}
         self._rotation = 0
+        # Preallocated round-robin thread orders, one per rotation phase.
+        n = config.n_threads
+        self._orders = tuple(
+            tuple((i + r) % n for i in range(n)) for r in range(n)
+        )
+        self._decode_room = config.decode_buffer - config.fetch_group_size
         # Warmup: caches/predictor train on the first fraction of the
         # committed work; statistics cover only the measurement window
         # (standard trace-driven methodology — the scaled traces would
@@ -209,240 +266,34 @@ class SMTProcessor:
 
     # ------------------------------------------------------------------ stages
 
-    def _complete(self) -> int:
-        entries = self._wake.pop(self.now, None)
-        if not entries:
-            return 0
-        for entry in entries:
-            entry.state = _STATE_DONE
-            for dependent in entry.dependents:
-                dependent.deps -= 1
-                if dependent.deps == 0 and not dependent.squashed:
-                    self.queues[OPCODE_INFO[dependent.inst.op].queue].wake(
-                        dependent
-                    )
-            entry.dependents.clear()
-            if entry.mispredicted:
-                ctx = self.threads[entry.thread]
-                ctx.fetch_blocked = False
-                ctx.fetch_stall_until = max(
-                    ctx.fetch_stall_until,
-                    self.now + self.config.mispredict_redirect,
-                )
-        return len(entries)
-
-    def _commit(self) -> int:
-        budget = self.config.commit_width
-        done_any = 0
+    def _fetch_order(self) -> tuple[int, ...] | list[int]:
+        """Thread priority order for this cycle under the fetch policy."""
         n = self.config.n_threads
-        for offset in range(n):
-            if budget == 0:
-                break
-            thread = (self._rotation + offset) % n
-            ctx = self.threads[thread]
-            while budget > 0:
-                head = self.window.head(thread)
-                if head is None or head.state != _STATE_DONE:
-                    break
-                self.window.retire_head(thread)
-                inst = head.inst
-                if inst.dst != NO_REG:
-                    self.pools[reg_class(inst.dst)] += 1
-                    if ctx.rename.get(inst.dst) is head:
-                        del ctx.rename[inst.dst]
-                weight = inst.stream_length
-                self.committed += weight
-                self.committed_by_thread[thread] += weight
-                self.committed_equiv += weight * ctx.equiv_per_inst
-                budget -= 1
-                done_any += 1
-            # Program completion: everything fetched, dispatched, retired.
-            if (
-                ctx.trace is not None
-                and ctx.fetch_done
-                and not ctx.decode
-                and self.window.is_empty(thread)
-            ):
-                name = ctx.trace.name
-                self.per_program_committed[name] = (
-                    self.per_program_committed.get(name, 0)
-                    + ctx.trace_expanded
+        base = self._orders[self._rotation % n]
+        policy = self.fetch_policy
+        if policy is FetchPolicy.RR:
+            return base
+        threads = self.threads
+        if policy is FetchPolicy.ICOUNT:
+            return sorted(base, key=lambda t: threads[t].inflight_insts)
+        if policy is FetchPolicy.OCOUNT:
+            return sorted(base, key=lambda t: threads[t].inflight_ops)
+        if policy is FetchPolicy.BALANCE:
+            if self.queues[Queue.SIMD].occupancy == 0:
+                return sorted(
+                    base, key=lambda t: not threads[t].fetched_vector_last
                 )
-                replacement = self.scheduler.on_completion()
-                if replacement is None:
-                    ctx.trace = None
-                else:
-                    ctx.assign(replacement.trace)
-                    self.predictor.reset_thread(thread)
-        return done_any
-
-    def _issue_one(self, entry: InFlight) -> int:
-        """Execute an issued instruction; returns its completion cycle."""
-        inst = entry.inst
-        info = OPCODE_INFO[inst.op]
-        now = self.now
-        if info.is_mem:
-            kind = _MEM_KIND[inst.op]
-            if inst.stream_length > 1:
-                done = self.memory.access_stream(
-                    entry.thread,
-                    inst.mem_addr,
-                    inst.stride,
-                    inst.stream_length,
-                    kind,
-                    now,
-                )
-            else:
-                done = self.memory.access(entry.thread, inst.mem_addr, kind, now)
-        elif info.is_stream:
-            done = self.vector_unit.execute(
-                now,
-                inst.stream_length,
-                info.latency,
-                reduction=(inst.op is Opcode.MOM_REDUCE),
-            )
-        else:
-            done = now + info.latency
-        return max(done, now + 1)
-
-    def _issue(self) -> tuple[int, bool, bool]:
-        issued = 0
-        issued_vector = False
-        issued_scalar = False
-        for queue_id, queue in self.queues.items():
-            width = self._issue_width[queue_id]
-            for __ in range(width):
-                entry = queue.pop_ready()
-                if entry is None:
-                    break
-                ctx = self.threads[entry.thread]
-                ctx.inflight_insts -= 1
-                ctx.inflight_ops -= entry.inst.stream_length
-                done = self._issue_one(entry)
-                self._wake.setdefault(done, []).append(entry)
-                issued += 1
-                if queue_id is Queue.SIMD:
-                    issued_vector = True
-                else:
-                    issued_scalar = True
-        return issued, issued_vector, issued_scalar
-
-    def _dispatch(self) -> int:
-        budget = self.config.dispatch_width
-        n = self.config.n_threads
-        stalled = [False] * n
-        dispatched = 0
-        while budget > 0:
-            progress = False
-            for offset in range(n):
-                if budget == 0:
-                    break
-                thread = (self._rotation + offset) % n
-                if stalled[thread]:
-                    continue
-                ctx = self.threads[thread]
-                if not ctx.decode:
-                    stalled[thread] = True
-                    continue
-                inst, mispredicted = ctx.decode[0]
-                info = OPCODE_INFO[inst.op]
-                queue = self.queues[info.queue]
-                if not queue.has_space or not self.window.has_space:
-                    stalled[thread] = True
-                    continue
-                if inst.dst != NO_REG and self.pools[reg_class(inst.dst)] <= 0:
-                    stalled[thread] = True
-                    continue
-                ctx.decode.pop(0)
-                entry = InFlight(inst, thread, mispredicted)
-                for src in inst.srcs:
-                    producer = ctx.rename.get(src)
-                    if producer is not None and producer.state != _STATE_DONE:
-                        entry.deps += 1
-                        producer.dependents.append(entry)
-                if inst.dst != NO_REG:
-                    self.pools[reg_class(inst.dst)] -= 1
-                    ctx.rename[inst.dst] = entry
-                self.window.insert(thread, entry)
-                queue.insert(entry)
-                budget -= 1
-                dispatched += 1
-                progress = True
-            if not progress:
-                break
-        return dispatched
-
-    def _fetch(self) -> int:
-        cfg = self.config
-        n = cfg.n_threads
-        order = order_threads(
-            self.fetch_policy,
+            return sorted(base, key=lambda t: threads[t].fetched_vector_last)
+        # Fall back to the reference implementation for any new policy.
+        return order_threads(
+            policy,
             n,
             self._rotation,
-            [t.inflight_insts for t in self.threads],
-            [t.inflight_ops for t in self.threads],
-            [t.fetched_vector_last for t in self.threads],
+            [t.inflight_insts for t in threads],
+            [t.inflight_ops for t in threads],
+            [t.fetched_vector_last for t in threads],
             self.queues[Queue.SIMD].occupancy == 0,
         )
-        groups = 0
-        fetched = 0
-        for thread in order:
-            if groups == cfg.fetch_groups:
-                break
-            ctx = self.threads[thread]
-            if ctx.trace is None or ctx.fetch_done:
-                continue
-            if ctx.fetch_blocked:
-                # Wrong-path fetch: the front end does not know the branch
-                # mispredicted, so the thread keeps consuming fetch slots
-                # on instructions that will be squashed.
-                groups += 1
-                continue
-            if (
-                ctx.fetch_stall_until > self.now
-                or len(ctx.decode) > cfg.decode_buffer - cfg.fetch_group_size
-            ):
-                continue
-            groups += 1
-            instructions = ctx.trace.instructions
-            pc = instructions[ctx.fetch_idx].pc
-            ready = self.memory.fetch(thread, pc, self.now)
-            if ready > self.now + 2:
-                # A genuine I-cache miss: stall the thread until the fill
-                # arrives.  One-cycle bank-conflict delays are absorbed in
-                # place — re-attempting them would itself occupy the bank
-                # and can livelock two threads against each other.
-                ctx.fetch_stall_until = ready
-                continue
-            took_vector = False
-            group_line = pc >> 5
-            for __ in range(cfg.fetch_group_size):
-                if ctx.fetch_idx >= len(instructions):
-                    break
-                inst = instructions[ctx.fetch_idx]
-                if inst.pc >> 5 != group_line:
-                    # Fetch groups cannot cross an I-cache line boundary.
-                    break
-                ctx.fetch_idx += 1
-                mispredicted = False
-                if inst.is_branch:
-                    correct = self.predictor.predict_and_update(
-                        thread, inst.pc, inst.taken
-                    )
-                    mispredicted = not correct
-                ctx.decode.append((inst, mispredicted))
-                ctx.inflight_insts += 1
-                ctx.inflight_ops += inst.stream_length
-                fetched += 1
-                if inst.is_simd:
-                    took_vector = True
-                if mispredicted:
-                    ctx.fetch_blocked = True
-                    break
-                if inst.is_branch and inst.taken:
-                    break
-            ctx.fetched_vector_last = took_vector
-        return fetched
 
     # ------------------------------------------------------------------ driver
 
@@ -452,7 +303,7 @@ class SMTProcessor:
         if self._wake:
             candidates.append(min(self._wake))
         for ctx in self.threads:
-            if ctx.trace is None or ctx.fetch_done:
+            if ctx.trace is None or ctx.fetch_idx >= ctx.trace_len:
                 continue
             if not ctx.fetch_blocked and ctx.fetch_stall_until > self.now:
                 candidates.append(ctx.fetch_stall_until)
@@ -468,39 +319,354 @@ class SMTProcessor:
 
         Exposed so multi-core drivers (the CMP extension) can advance
         several cores in lockstep against shared memory resources.
+
+        The five pipeline stages — complete, commit, issue, dispatch,
+        fetch — run fused in this one body.  The simulator executes this
+        method tens of thousands of times per run, so the stages share a
+        single set of hoisted locals (thread table, rotation order,
+        graduation-window occupancy) instead of each paying its own call
+        and prologue cost; stage boundaries are marked by comments.
         """
-        completed = self._complete()
-        committed = self._commit()
-        if not self._warm and self.committed >= self._warmup_commits:
+        now = self.now
+        config = self.config
+        threads = self.threads
+        window = self.window
+        fifos = window._fifos
+        win_sanitizer = window.sanitizer
+        pools = self.pools
+        order = self._orders[self._rotation % config.n_threads]
+        win_occ = window.occupancy
+
+        # ---- complete: results arriving this cycle wake their dependents.
+        entries = self._wake.pop(now, None)
+        completed = 0
+        if entries:
+            redirect = config.mispredict_redirect
+            for entry in entries:
+                entry.state = _STATE_DONE
+                dependents = entry.dependents
+                if dependents is not None:
+                    for dependent in dependents:
+                        dependent.deps -= 1
+                        if dependent.deps == 0 and not dependent.squashed:
+                            dependent.queue.ready.append(dependent)
+                    entry.dependents = None
+                if entry.mispredicted:
+                    ctx = threads[entry.thread]
+                    ctx.fetch_blocked = False
+                    stall = now + redirect
+                    if stall > ctx.fetch_stall_until:
+                        ctx.fetch_stall_until = stall
+            completed = len(entries)
+
+        # ---- commit: in-order retirement from the per-thread FIFOs.
+        budget = config.commit_width
+        committed_any = 0
+        committed = self.committed
+        committed_equiv = self.committed_equiv
+        by_thread = self.committed_by_thread
+        for thread in order:
+            if budget == 0:
+                break
+            ctx = threads[thread]
+            fifo = fifos[thread]
+            if fifo:
+                rename = ctx.rename
+                equiv = ctx.equiv_per_inst
+                while budget > 0 and fifo:
+                    head = fifo[0]
+                    if head.state != _STATE_DONE:
+                        break
+                    fifo.popleft()
+                    win_occ -= 1
+                    if win_sanitizer is not None:
+                        window.occupancy = win_occ
+                        win_sanitizer.on_window_retire(window, thread, head)
+                    inst = head.inst
+                    dst = inst.dst
+                    if dst != NO_REG:
+                        pools[dst >> _CLASS_SHIFT] += 1
+                        if rename[dst] is head:
+                            rename[dst] = None
+                    weight = inst.stream_length
+                    committed += weight
+                    by_thread[thread] += weight
+                    committed_equiv += weight * equiv
+                    budget -= 1
+                    committed_any += 1
+            # Program completion: everything fetched, dispatched, retired.
+            # (``not fifo`` first: it is the cheapest test and almost
+            # always false mid-program.)
+            if (
+                not fifo
+                and ctx.trace is not None
+                and ctx.fetch_idx >= ctx.trace_len
+                and not ctx.decode
+            ):
+                name = ctx.trace.name
+                self.per_program_committed[name] = (
+                    self.per_program_committed.get(name, 0)
+                    + ctx.trace_expanded
+                )
+                replacement = self.scheduler.on_completion()
+                if replacement is None:
+                    ctx.trace = None
+                else:
+                    ctx.assign(replacement.trace)
+                    self.predictor.reset_thread(thread)
+        self.committed = committed
+        self.committed_equiv = committed_equiv
+
+        # ---- warmup boundary: restart measurement with warm structures.
+        if not self._warm and committed >= self._warmup_commits:
             self._warm = True
-            self._base_cycles = self.now
-            self._base_committed = self.committed
-            self._base_equiv = self.committed_equiv
+            self._base_cycles = now
+            self._base_committed = committed
+            self._base_equiv = committed_equiv
             self.memory.reset_stats()
             self.predictor.lookups = 0
             self.predictor.mispredicts = 0
             self.vector_only_cycles = 0
             self.active_cycles = 0
         if self.scheduler.done:
-            return bool(completed or committed)
-        issued, issued_vector, issued_scalar = self._issue()
-        dispatched = self._dispatch()
-        fetched = self._fetch()
+            window.occupancy = win_occ
+            return bool(completed or committed_any)
+
+        # ---- issue: drain ready queues into the execution resources.
+        issued = 0
+        issued_vector = False
+        issued_scalar = False
+        wake = self._wake
+        floor = now + 1
+        memory = self.memory
+        vector_execute = self.vector_unit.execute
+        is_mem = _IS_MEM
+        is_stream = _IS_STREAM
+        latency_of = _LATENCY
+        mem_kind_of = _MEM_KIND_OF
+        for queue, width, is_simd in self._issue_plan:
+            ready = queue.ready
+            if not ready:
+                continue
+            taken = 0
+            q_occ = queue.occupancy
+            q_issued = queue.issued_total
+            while taken < width and ready:
+                entry = ready.popleft()
+                q_occ -= 1
+                if entry.squashed:
+                    continue
+                q_issued += 1
+                taken += 1
+                ctx = threads[entry.thread]
+                inst = entry.inst
+                stream_length = inst.stream_length
+                ctx.inflight_insts -= 1
+                ctx.inflight_ops -= stream_length
+                op = inst.op
+                if is_mem[op]:
+                    if stream_length > 1:
+                        done = memory.access_stream(
+                            entry.thread,
+                            inst.mem_addr,
+                            inst.stride,
+                            stream_length,
+                            mem_kind_of[op],
+                            now,
+                        )
+                    else:
+                        done = memory.access(
+                            entry.thread, inst.mem_addr, mem_kind_of[op], now
+                        )
+                elif is_stream[op]:
+                    done = vector_execute(
+                        now,
+                        stream_length,
+                        latency_of[op],
+                        reduction=(op is Opcode.MOM_REDUCE),
+                    )
+                else:
+                    done = now + latency_of[op]
+                if done < floor:
+                    done = floor
+                lst = wake.get(done)
+                if lst is None:
+                    wake[done] = [entry]
+                else:
+                    lst.append(entry)
+            queue.occupancy = q_occ
+            queue.issued_total = q_issued
+            if taken:
+                issued += taken
+                if is_simd:
+                    issued_vector = True
+                else:
+                    issued_scalar = True
+
+        # ---- dispatch: rename and insert decoded instructions.
+        budget = config.dispatch_width
+        dispatched = 0
+        queue_of_op = self._queue_of_op
+        win_cap = window.capacity
+        inflight_new = InFlight.__new__
+        # Round-robin, one instruction per thread per pass.  Every stall
+        # condition (empty decode, full queue, full window, empty register
+        # pool) is monotone within a cycle, so a thread that fails to
+        # dispatch is dropped from the scan instead of being re-checked.
+        live = [t for t in order if threads[t].decode]
+        while budget > 0 and live:
+            next_live = []
+            for thread in live:
+                if budget == 0:
+                    break
+                ctx = threads[thread]
+                decode = ctx.decode
+                if not decode:
+                    continue
+                inst, mispredicted = decode[0]
+                queue = queue_of_op[inst.op]
+                if queue.occupancy >= queue.capacity or win_occ >= win_cap:
+                    continue
+                dst = inst.dst
+                if dst != NO_REG and pools[dst >> _CLASS_SHIFT] <= 0:
+                    continue
+                decode.popleft()
+                # InFlight construction, spelled out (the constructor is
+                # the single hottest allocation site in the simulator).
+                entry = inflight_new(InFlight)
+                entry.inst = inst
+                entry.thread = thread
+                entry.state = _STATE_WAITING
+                entry.dependents = None
+                entry.mispredicted = mispredicted
+                entry.squashed = False
+                entry.queue = queue
+                rename = ctx.rename
+                deps = 0
+                for src in inst.srcs:
+                    producer = rename[src]
+                    if producer is not None and producer.state != _STATE_DONE:
+                        deps += 1
+                        waiters = producer.dependents
+                        if waiters is None:
+                            producer.dependents = [entry]
+                        else:
+                            waiters.append(entry)
+                entry.deps = deps
+                if dst != NO_REG:
+                    pools[dst >> _CLASS_SHIFT] -= 1
+                    rename[dst] = entry
+                fifos[thread].append(entry)
+                win_occ += 1
+                if win_sanitizer is not None:
+                    window.occupancy = win_occ
+                    win_sanitizer.on_window_insert(window, thread, entry)
+                queue.occupancy += 1
+                if deps == 0:
+                    queue.ready.append(entry)
+                if queue.sanitizer is not None:
+                    queue.sanitizer.check_queue(queue)
+                budget -= 1
+                dispatched += 1
+                next_live.append(thread)
+            live = next_live
+        window.occupancy = win_occ
+
+        # ---- fetch: pull instruction groups into the decode buffers.
+        groups = 0
+        fetched = 0
+        fetch_groups = config.fetch_groups
+        group_size = config.fetch_group_size
+        decode_room = self._decode_room
+        memory_fetch = memory.fetch
+        predict = self.predictor.predict_and_update
+        is_branch_of = _IS_BRANCH
+        is_simd_of = _IS_SIMD
+        # Round-robin needs no per-thread sort; skip the policy dispatch.
+        if self.fetch_policy is not FetchPolicy.RR:
+            order = self._fetch_order()
+        for thread in order:
+            if groups == fetch_groups:
+                break
+            ctx = threads[thread]
+            idx = ctx.fetch_idx
+            if ctx.trace is None or idx >= ctx.trace_len:
+                continue
+            if ctx.fetch_blocked:
+                # Wrong-path fetch: the front end does not know the branch
+                # mispredicted, so the thread keeps consuming fetch slots
+                # on instructions that will be squashed.
+                groups += 1
+                continue
+            decode = ctx.decode
+            if ctx.fetch_stall_until > now or len(decode) > decode_room:
+                continue
+            groups += 1
+            instructions = ctx.trace.instructions
+            trace_len = ctx.trace_len
+            pc = instructions[idx].pc
+            ready = memory_fetch(thread, pc, now)
+            if ready > now + 2:
+                # A genuine I-cache miss: stall the thread until the fill
+                # arrives.  One-cycle bank-conflict delays are absorbed in
+                # place — re-attempting them would itself occupy the bank
+                # and can livelock two threads against each other.
+                ctx.fetch_stall_until = ready
+                continue
+            took_vector = False
+            group_line = pc >> 5
+            inflight_insts = 0
+            inflight_ops = 0
+            for __ in range(group_size):
+                if idx >= trace_len:
+                    break
+                inst = instructions[idx]
+                if inst.pc >> 5 != group_line:
+                    # Fetch groups cannot cross an I-cache line boundary.
+                    break
+                idx += 1
+                op = inst.op
+                mispredicted = False
+                is_branch = is_branch_of[op]
+                if is_branch:
+                    mispredicted = not predict(thread, inst.pc, inst.taken)
+                decode.append((inst, mispredicted))
+                inflight_insts += 1
+                inflight_ops += inst.stream_length
+                fetched += 1
+                if is_simd_of[op]:
+                    took_vector = True
+                if mispredicted:
+                    ctx.fetch_blocked = True
+                    break
+                if is_branch and inst.taken:
+                    break
+            ctx.fetch_idx = idx
+            ctx.inflight_insts += inflight_insts
+            ctx.inflight_ops += inflight_ops
+            ctx.fetched_vector_last = took_vector
+
         if issued:
             self.active_cycles += 1
             if issued_vector and not issued_scalar:
                 self.vector_only_cycles += 1
         self._rotation += 1
-        self.now += 1
-        return bool(completed or committed or issued or dispatched or fetched)
+        self.now = now + 1
+        return bool(
+            completed or committed_any or issued or dispatched or fetched
+        )
 
     def run(self) -> RunResult:
         """Simulate until the completion target is reached."""
-        while not self.scheduler.done and self.now < self.max_cycles:
-            worked = self.step()
-            if not worked and not self.scheduler.done:
-                self.now = max(self.now, self._skip_target())
-        if self.now >= self.max_cycles:
+        step = self.step
+        scheduler = self.scheduler
+        max_cycles = self.max_cycles
+        while not scheduler.done and self.now < max_cycles:
+            if not step() and not scheduler.done:
+                target = self._skip_target()
+                if target > self.now:
+                    self.now = target
+        if self.now >= max_cycles:
             raise RuntimeError(
                 f"simulation exceeded {self.max_cycles} cycles — livelock?"
             )

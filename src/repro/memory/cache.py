@@ -69,6 +69,11 @@ class L2Cache:
         self.stats = CacheStats()
         self._bank_free = [0] * config.banks
         self.mshr = MshrFile(config.mshrs)
+        # Hot-path constants (config is frozen; line_shift is a property).
+        self._line_shift = config.line_shift
+        self._latency = config.latency
+        self._bank_mask = config.banks - 1
+        self._line_bytes = config.line
 
     def _bank_of(self, line_addr: int) -> int:
         return line_addr & (self.config.banks - 1)
@@ -81,37 +86,45 @@ class L2Cache:
 
     def access(self, addr: int, now: int, is_store: bool = False) -> int:
         """Read or write one line; returns data-available cycle."""
-        line = addr >> self.config.line_shift
-        start = self._acquire_bank(line, now)
-        self.stats.accesses += 1
-        if self.tags.lookup(line):
+        line = addr >> self._line_shift
+        # Bank acquisition, inlined (one call per simulated L2 reference).
+        bank = line & self._bank_mask
+        bank_free = self._bank_free
+        start = now if now > bank_free[bank] else bank_free[bank]
+        bank_free[bank] = start + self.BANK_OCCUPANCY
+        stats = self.stats
+        tags = self.tags
+        mshr = self.mshr
+        latency = self._latency
+        stats.accesses += 1
+        if tags.lookup(line):
             if is_store:
-                self.tags.mark_dirty(line)
-            self.stats.hits += 1
-            done = start + self.config.latency
+                tags.mark_dirty(line)
+            stats.hits += 1
+            done = start + latency
             # Tags are updated eagerly at miss time; data of a line whose
             # fill is still in flight is not available before the fill.
-            pending = self.mshr.pending_fill(line, start)
-            if pending is not None:
-                done = max(done, pending)
-            self.stats.latency_sum += done - now
+            pending = mshr.pending_fill(line, start)
+            if pending is not None and pending > done:
+                done = pending
+            stats.latency_sum += done - now
             return done
         # Miss: merge with an in-flight fill when possible.
-        pending = self.mshr.pending_fill(line, start)
+        pending = mshr.pending_fill(line, start)
         if pending is not None:
-            done = max(pending, start + self.config.latency)
-            self.stats.latency_sum += done - now
+            done = max(pending, start + latency)
+            stats.latency_sum += done - now
             if is_store:
-                self.tags.mark_dirty(line)
+                tags.mark_dirty(line)
             return done
-        start = max(start, self.mshr.earliest_free(start))
-        fill = self.dram.access(start + self.config.latency, self.config.line)
-        self.mshr.allocate(line, fill, start)
-        victim = self.tags.fill(line, dirty=is_store)
+        start = max(start, mshr.earliest_free(start))
+        fill = self.dram.access(start + latency, self._line_bytes)
+        mshr.allocate(line, fill, start)
+        victim = tags.fill(line, dirty=is_store)
         if victim is not None and victim[1]:
             # Dirty write-back consumes channel bandwidth.
-            self.dram.access(fill, self.config.line)
-        self.stats.latency_sum += fill - now
+            self.dram.access(fill, self._line_bytes)
+        stats.latency_sum += fill - now
         return fill
 
     def invalidate(self, addr: int) -> bool:
@@ -130,6 +143,9 @@ class L1DataCache:
         self.mshr = MshrFile(config.mshrs)
         self.write_buffer = WriteBuffer(depth=write_buffer_depth)
         self._bank_free = [0] * config.banks
+        self._line_shift = config.line_shift
+        self._latency = config.latency
+        self._bank_mask = config.banks - 1
 
     def _line_of(self, addr: int) -> int:
         return addr >> self.config.line_shift
@@ -145,26 +161,45 @@ class L1DataCache:
 
         Returns ``(data_ready_cycle, hit, bank_wait_cycles)``.
         """
-        line = self._line_of(addr)
-        start, bank_wait = self._acquire_bank(line, now)
-        if self.tags.lookup(line):
-            done = start + self.config.latency
-            pending = self.mshr.pending_fill(line, start)
-            if pending is not None:
+        line = addr >> self._line_shift
+        # Bank acquisition, tag lookup and MSHR probe inlined (hot path);
+        # the logic mirrors TagArray.lookup / MshrFile.pending_fill.
+        bank = line & self._bank_mask
+        bank_free = self._bank_free
+        start = now if now > bank_free[bank] else bank_free[bank]
+        bank_free[bank] = start + 1
+        bank_wait = start - now
+        latency = self._latency
+        mshr = self.mshr
+        tags = self.tags
+        entries = tags._sets[line & tags._set_mask]
+        hit = False
+        last = len(entries) - 1
+        for i in range(last + 1):
+            if entries[i][0] == line:
+                if i != last:
+                    entries.append(entries.pop(i))
+                hit = True
+                break
+        if hit:
+            done = start + latency
+            fill = mshr._pending.get(line)
+            if fill is not None and fill > start:
                 # The line was allocated eagerly by an earlier miss; its
                 # data arrives with the in-flight fill.
-                done = max(done, pending + self.config.latency)
+                if fill + latency > done:
+                    done = fill + latency
             return done, True, bank_wait
         # Selective flush: a buffered store to this line must drain first.
         start = self.write_buffer.flush_line(line, start)
-        pending = self.mshr.pending_fill(line, start)
+        pending = mshr.pending_fill(line, start)
         if pending is not None:
-            return max(pending, start + self.config.latency), False, bank_wait
-        start = max(start, self.mshr.earliest_free(start))
-        fill = self.l2.access(addr, start + self.config.latency)
-        self.mshr.allocate(line, fill, start)
+            return max(pending, start + latency), False, bank_wait
+        start = max(start, mshr.earliest_free(start))
+        fill = self.l2.access(addr, start + latency)
+        mshr.allocate(line, fill, start)
         self.tags.fill(line)
-        return fill + self.config.latency, False, bank_wait
+        return fill + latency, False, bank_wait
 
     def store_line(self, addr: int, now: int) -> tuple[int, bool, int]:
         """Write through ``addr``; returns ``(done, hit, bank_wait)``.
@@ -173,11 +208,24 @@ class L1DataCache:
         does not allocate; either way the store enters the coalescing
         write buffer, which is where a full buffer back-pressures.
         """
-        line = self._line_of(addr)
-        start, bank_wait = self._acquire_bank(line, now)
-        hit = self.tags.lookup(line)
+        line = addr >> self._line_shift
+        bank = line & self._bank_mask
+        bank_free = self._bank_free
+        start = now if now > bank_free[bank] else bank_free[bank]
+        bank_free[bank] = start + 1
+        bank_wait = start - now
+        tags = self.tags
+        entries = tags._sets[line & tags._set_mask]
+        hit = False
+        last = len(entries) - 1
+        for i in range(last + 1):
+            if entries[i][0] == line:
+                if i != last:
+                    entries.append(entries.pop(i))
+                hit = True
+                break
         accept = self.write_buffer.push(line, start)
-        return max(start, accept) + self.config.latency, hit, bank_wait
+        return max(start, accept) + self._latency, hit, bank_wait
 
     def invalidate(self, addr: int) -> bool:
         return self.tags.invalidate(self._line_of(addr))
@@ -196,6 +244,9 @@ class InstructionCache:
         self.stats = CacheStats()
         self.mshr = MshrFile(4)
         self._bank_free = [0] * config.banks
+        self._line_shift = config.line_shift
+        self._latency = config.latency
+        self._bank_mask = config.banks - 1
 
     def fetch_line(self, addr: int, now: int) -> tuple[int, bool]:
         """Fetch the line holding ``addr``; returns ``(ready, hit)``.
@@ -205,22 +256,37 @@ class InstructionCache:
         would book it against each other's retries and livelock the fetch
         engine.
         """
-        line = addr >> self.config.line_shift
-        bank = line & (self.config.banks - 1)
-        if self._bank_free[bank] > now:
-            return self._bank_free[bank] + self.config.latency, True
-        self._bank_free[bank] = now + 1
-        if self.tags.lookup(line):
-            done = now + self.config.latency
-            pending = self.mshr.pending_fill(line, now)
-            if pending is not None:
-                done = max(done, pending + self.config.latency)
+        line = addr >> self._line_shift
+        bank = line & self._bank_mask
+        bank_free = self._bank_free
+        latency = self._latency
+        if bank_free[bank] > now:
+            return bank_free[bank] + latency, True
+        bank_free[bank] = now + 1
+        mshr = self.mshr
+        # Tag lookup and MSHR probe inlined (hot path); mirrors
+        # TagArray.lookup / MshrFile.pending_fill.
+        tags = self.tags
+        entries = tags._sets[line & tags._set_mask]
+        hit = False
+        last = len(entries) - 1
+        for i in range(last + 1):
+            if entries[i][0] == line:
+                if i != last:
+                    entries.append(entries.pop(i))
+                hit = True
+                break
+        if hit:
+            done = now + latency
+            fill = mshr._pending.get(line)
+            if fill is not None and fill > now and fill + latency > done:
+                done = fill + latency
             return done, True
-        pending = self.mshr.pending_fill(line, now)
+        pending = mshr.pending_fill(line, now)
         if pending is not None:
-            return max(pending, now + self.config.latency), False
-        start = max(now, self.mshr.earliest_free(now))
-        fill = self.l2.access(addr, start + self.config.latency)
-        self.mshr.allocate(line, fill, start)
+            return max(pending, now + latency), False
+        start = max(now, mshr.earliest_free(now))
+        fill = self.l2.access(addr, start + latency)
+        mshr.allocate(line, fill, start)
         self.tags.fill(line)
-        return fill + self.config.latency, False
+        return fill + latency, False

@@ -58,6 +58,12 @@ class DecoupledHierarchy(MemorySystem):
         self._scalar_ports = [0] * n_scalar_ports
         self._vector_ports = [0] * n_vector_ports
         self.stats.l2 = self.l2.stats
+        self._relink_stats()
+
+    def _relink_stats(self) -> None:
+        """Refresh hot-path stats references (see ConventionalHierarchy)."""
+        self._l1_stats = self.stats.l1
+        self._icache_stats = self.stats.icache
 
     @staticmethod
     def _acquire(ports: list[int], now: int) -> int:
@@ -81,9 +87,11 @@ class DecoupledHierarchy(MemorySystem):
         else:
             done, hit, bank_wait = self.l1.load_line(phys, start)
             # Loads only: the write-through L1 does not allocate on stores.
-            self.stats.l1.accesses += 1
-            self.stats.l1.hits += 1 if hit else 0
-            self.stats.l1.latency_sum += done - now
+            l1_stats = self._l1_stats
+            l1_stats.accesses += 1
+            if hit:
+                l1_stats.hits += 1
+            l1_stats.latency_sum += done - now
         self.stats.bank_conflict_cycles += bank_wait
         return done
 
@@ -110,7 +118,7 @@ class DecoupledHierarchy(MemorySystem):
         """Exclusive-bit policy: evict a scalar-owned copy before streaming."""
         if self.l1.contains(phys):
             drained = self.l1.write_buffer.flush_line(
-                phys >> self.l1.config.line_shift, now
+                phys >> self.l1._line_shift, now
             )
             self.l1.invalidate(phys)
             self.stats.coherence_invalidations += 1
@@ -127,7 +135,7 @@ class DecoupledHierarchy(MemorySystem):
         now: int,
     ) -> int:
         """Stream elements coalesce per 128-byte L2 line at the L2 banks."""
-        line_shift = self.l2.config.line_shift
+        line_shift = self.l2._line_shift
         is_store = kind == AccessType.VECTOR_STORE
         done = now + 1
         index = 0
@@ -157,6 +165,7 @@ class DecoupledHierarchy(MemorySystem):
         self.stats = MemoryStats()
         self.l2.stats = CacheStats()
         self.stats.l2 = self.l2.stats
+        self._relink_stats()
         self.write_buffer_reset()
 
     def write_buffer_reset(self) -> None:
@@ -166,9 +175,10 @@ class DecoupledHierarchy(MemorySystem):
     # ----- instruction path ------------------------------------------------------
 
     def fetch(self, thread: int, pc: int, now: int) -> int:
-        phys = physical_address(thread, pc)
-        done, hit = self.icache.fetch_line(phys, now)
-        self.stats.icache.accesses += 1
-        self.stats.icache.hits += 1 if hit else 0
-        self.stats.icache.latency_sum += done - now
+        done, hit = self.icache.fetch_line(physical_address(thread, pc), now)
+        icache_stats = self._icache_stats
+        icache_stats.accesses += 1
+        if hit:
+            icache_stats.hits += 1
+        icache_stats.latency_sum += done - now
         return done

@@ -46,6 +46,17 @@ class ConventionalHierarchy(MemorySystem):
         # Expose sub-cache statistics through the common container.
         self.stats.l2 = self.l2.stats
         self.stats.icache = self.icache.stats
+        self._relink_stats()
+
+    def _relink_stats(self) -> None:
+        """Refresh the hot-path references into the stats container.
+
+        ``stats`` is replaced wholesale at the warmup boundary
+        (:meth:`reset_stats`), so the per-access code paths read these
+        cached references instead of chasing two attributes per counter.
+        """
+        self._l1_stats = self.stats.l1
+        self._icache_stats = self.stats.icache
 
     # ----- ports -----------------------------------------------------------
 
@@ -60,27 +71,29 @@ class ConventionalHierarchy(MemorySystem):
 
     # ----- data path ----------------------------------------------------------
 
-    def _line_access(
-        self, thread: int, addr: int, is_store: bool, now: int
-    ) -> int:
+    def access(self, thread: int, addr: int, kind: AccessType, now: int) -> int:
         """One L1 transaction; updates L1 stats for a single reference."""
         phys = physical_address(thread, addr)
-        start = self._acquire_port(now)
-        if is_store:
+        # Port acquisition, inlined (``_acquire_port`` kept for reference):
+        # first free port, first-minimum tie break.
+        ports = self._ports
+        free = min(ports)
+        port = ports.index(free)
+        start = now if now > free else free
+        ports[port] = start + 1
+        if kind is AccessType.SCALAR_STORE or kind is AccessType.VECTOR_STORE:
             done, __, bank_wait = self.l1.store_line(phys, start)
         else:
             done, hit, bank_wait = self.l1.load_line(phys, start)
             # Hit-rate statistics cover loads only: the write-through,
             # no-allocate L1 never "hits" streaming stores by design.
-            self.stats.l1.accesses += 1
-            self.stats.l1.hits += 1 if hit else 0
-            self.stats.l1.latency_sum += done - now
+            l1_stats = self._l1_stats
+            l1_stats.accesses += 1
+            if hit:
+                l1_stats.hits += 1
+            l1_stats.latency_sum += done - now
         self.stats.bank_conflict_cycles += bank_wait
         return done
-
-    def access(self, thread: int, addr: int, kind: AccessType, now: int) -> int:
-        is_store = kind in (AccessType.SCALAR_STORE, AccessType.VECTOR_STORE)
-        return self._line_access(thread, addr, is_store, now)
 
     def access_stream(
         self,
@@ -97,7 +110,9 @@ class ConventionalHierarchy(MemorySystem):
         mapping to that line completes (and is counted) with it.
         """
         is_store = kind == AccessType.VECTOR_STORE
-        line_shift = self.l1.config.line_shift
+        line_shift = self.l1._line_shift
+        l1_stats = self._l1_stats
+        ports = self._ports
         done = now + 1
         index = 0
         while index < count:
@@ -110,20 +125,23 @@ class ConventionalHierarchy(MemorySystem):
             ):
                 group += 1
             phys = physical_address(thread, addr)
-            start = self._acquire_port(now)
+            free = min(ports)
+            port = ports.index(free)
+            start = now if now > free else free
+            ports[port] = start + 1
             if is_store:
                 line_done, __, bank_wait = self.l1.store_line(phys, start)
             else:
                 line_done, hit, bank_wait = self.l1.load_line(phys, start)
-                self.stats.l1.accesses += group
+                l1_stats.accesses += group
                 # Only the leading element of a coalesced group can miss;
                 # the rest are line-buffer hits (an MMX loop spreading the
                 # same references over time records 1 miss + 3 hits, too).
-                self.stats.l1.hits += group if hit else group - 1
+                l1_stats.hits += group if hit else group - 1
                 # Latency is measured from port acquisition: the group's
                 # lines are presented to the ports together, so measuring
                 # from `now` would count issue queuing as cache latency.
-                self.stats.l1.latency_sum += (line_done - start) * group
+                l1_stats.latency_sum += (line_done - start) * group
             self.stats.bank_conflict_cycles += bank_wait
             if line_done > done:
                 done = line_done
@@ -136,6 +154,7 @@ class ConventionalHierarchy(MemorySystem):
         self.stats = MemoryStats()
         self.l2.stats = CacheStats()
         self.stats.l2 = self.l2.stats
+        self._relink_stats()
         self.write_buffer_reset()
 
     def write_buffer_reset(self) -> None:
@@ -145,9 +164,48 @@ class ConventionalHierarchy(MemorySystem):
     # ----- instruction path -------------------------------------------------------
 
     def fetch(self, thread: int, pc: int, now: int) -> int:
-        phys = physical_address(thread, pc)
-        done, hit = self.icache.fetch_line(phys, now)
-        self.stats.icache.accesses += 1
-        self.stats.icache.hits += 1 if hit else 0
-        self.stats.icache.latency_sum += done - now
+        # The I-cache hit path, inlined from InstructionCache.fetch_line
+        # (one call per fetch group makes this the hottest memory entry
+        # point); the rare miss path stays delegated to the cache model.
+        icache = self.icache
+        stats = self._icache_stats
+        stats.accesses += 1
+        addr = physical_address(thread, pc)
+        line = addr >> icache._line_shift
+        bank = line & icache._bank_mask
+        bank_free = icache._bank_free
+        latency = icache._latency
+        if bank_free[bank] > now:
+            # Busy bank: the probe retries without consuming the bank.
+            done = bank_free[bank] + latency
+            stats.hits += 1
+            stats.latency_sum += done - now
+            return done
+        bank_free[bank] = now + 1
+        tags = icache.tags
+        entries = tags._sets[line & tags._set_mask]
+        last = len(entries) - 1
+        for i in range(last + 1):
+            if entries[i][0] == line:
+                if i != last:
+                    entries.append(entries.pop(i))
+                done = now + latency
+                fill = icache.mshr._pending.get(line)
+                if fill is not None and fill > now and fill + latency > done:
+                    done = fill + latency
+                stats.hits += 1
+                stats.latency_sum += done - now
+                return done
+        # Miss: merge with or allocate an outstanding fill.
+        mshr = icache.mshr
+        fill = mshr._pending.get(line)
+        if fill is not None and fill > now:
+            done = fill if fill > now + latency else now + latency
+        else:
+            start = max(now, mshr.earliest_free(now))
+            fill = icache.l2.access(addr, start + latency)
+            mshr.allocate(line, fill, start)
+            tags.fill(line)
+            done = fill + latency
+        stats.latency_sum += done - now
         return done

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 
 class AccessType(enum.Enum):
@@ -132,12 +133,15 @@ _PFN_SPACE_BITS = 22          # 16 GB of physical address space (keeps the
                               # hash collision rate between pages negligible)
 
 
+@lru_cache(maxsize=1 << 18)
 def physical_address(thread: int, addr: int) -> int:
     """Translate a (thread, virtual address) pair to a physical address.
 
     A plain multiplicative hash preserves the trailing zeros of
     power-of-two region bases and maps every region onto the same page
     colour; the splitmix64 finalizer below avalanches fully instead.
+    The function is pure, and working sets repeat addresses heavily, so
+    the translation is memoized.
     """
     offset = addr & ((1 << PAGE_BITS) - 1)
     vpn = addr >> PAGE_BITS

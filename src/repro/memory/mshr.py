@@ -16,6 +16,8 @@ class MshrFile:
     time has passed are free; expiry is lazy (cleaned on allocation).
     """
 
+    __slots__ = ("n_entries", "_pending", "sanitizer")
+
     def __init__(self, n_entries: int):
         if n_entries < 1:
             raise ValueError("need at least one MSHR")

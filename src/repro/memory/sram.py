@@ -13,7 +13,13 @@ class TagArray:
 
     Each set is an ordered list of (tag, dirty) pairs, most recently used
     last.  Associativity 1 gives a direct-mapped cache.
+
+    This sits on the hot path of every simulated memory reference, so the
+    methods index ``_sets`` directly instead of going through the
+    ``_set_of``/``_tag_of`` helpers (kept for readability and tests).
     """
+
+    __slots__ = ("n_sets", "assoc", "_sets", "_set_mask")
 
     def __init__(self, n_sets: int, assoc: int):
         if n_sets < 1 or assoc < 1:
@@ -22,10 +28,11 @@ class TagArray:
             raise ValueError("set count must be a power of two")
         self.n_sets = n_sets
         self.assoc = assoc
+        self._set_mask = n_sets - 1
         self._sets: list[list[list]] = [[] for __ in range(n_sets)]
 
     def _set_of(self, line_addr: int) -> list[list]:
-        return self._sets[line_addr & (self.n_sets - 1)]
+        return self._sets[line_addr & self._set_mask]
 
     @staticmethod
     def _tag_of(line_addr: int) -> int:
@@ -33,10 +40,9 @@ class TagArray:
 
     def lookup(self, line_addr: int, update_lru: bool = True) -> bool:
         """True if the line is present; touches LRU on hit by default."""
-        entries = self._set_of(line_addr)
-        tag = self._tag_of(line_addr)
+        entries = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(entries):
-            if entry[0] == tag:
+            if entry[0] == line_addr:
                 if update_lru and i != len(entries) - 1:
                     entries.append(entries.pop(i))
                 return True
@@ -44,10 +50,9 @@ class TagArray:
 
     def fill(self, line_addr: int, dirty: bool = False) -> tuple[int, bool] | None:
         """Insert a line; returns the evicted ``(line_addr, dirty)`` if any."""
-        entries = self._set_of(line_addr)
-        tag = self._tag_of(line_addr)
+        entries = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(entries):
-            if entry[0] == tag:
+            if entry[0] == line_addr:
                 entry[1] = entry[1] or dirty
                 entries.append(entries.pop(i))
                 return None
@@ -55,25 +60,23 @@ class TagArray:
         if len(entries) >= self.assoc:
             old = entries.pop(0)
             victim = (old[0], old[1])
-        entries.append([tag, dirty])
+        entries.append([line_addr, dirty])
         return victim
 
     def mark_dirty(self, line_addr: int) -> bool:
         """Set the dirty bit if present; returns presence."""
-        entries = self._set_of(line_addr)
-        tag = self._tag_of(line_addr)
+        entries = self._sets[line_addr & self._set_mask]
         for entry in entries:
-            if entry[0] == tag:
+            if entry[0] == line_addr:
                 entry[1] = True
                 return True
         return False
 
     def invalidate(self, line_addr: int) -> bool:
         """Remove a line if present; returns whether it was present."""
-        entries = self._set_of(line_addr)
-        tag = self._tag_of(line_addr)
+        entries = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(entries):
-            if entry[0] == tag:
+            if entry[0] == line_addr:
                 entries.pop(i)
                 return True
         return False

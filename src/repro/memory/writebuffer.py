@@ -13,6 +13,16 @@ from __future__ import annotations
 class WriteBuffer:
     """Timestamp-based coalescing write buffer."""
 
+    __slots__ = (
+        "depth",
+        "drain_interval",
+        "_entries",
+        "_last_drain",
+        "coalesced",
+        "full_stalls",
+        "sanitizer",
+    )
+
     def __init__(self, depth: int = 8, drain_interval: int = 4):
         if depth < 1:
             raise ValueError("write buffer needs at least one entry")

@@ -50,14 +50,26 @@ class Trace:
     instructions: list[Instruction]
     mmx_equivalent: int
     mix: ProgramMix = field(repr=False)
+    _expanded_length: int | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
 
     @property
     def expanded_length(self) -> int:
-        """Instruction count with MOM streams expanded (Table 3 counting)."""
-        return sum(inst.stream_length for inst in self.instructions)
+        """Instruction count with MOM streams expanded (Table 3 counting).
+
+        Cached: experiment sweeps re-assign the same (immutable) trace to
+        hardware contexts thousands of times, and summing per assignment
+        showed up in profiles.
+        """
+        if self._expanded_length is None:
+            self._expanded_length = sum(
+                inst.stream_length for inst in self.instructions
+            )
+        return self._expanded_length
 
     def class_counts(self, expanded: bool = True) -> dict[str, int]:
         """Instruction counts by Table 3 class."""

@@ -31,7 +31,23 @@ FORMAT_MAGIC = "#repro-trace v1"
 
 
 def save_trace(trace: Trace, path: str) -> None:
-    """Write a trace to ``path`` in the v1 line format."""
+    """Write a trace to ``path`` in the v1 line format.
+
+    The write is atomic (temp file + ``os.replace``) so concurrent
+    experiment workers generating the same trace never observe a
+    partially-written file.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        _write_trace(trace, tmp_path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _write_trace(trace: Trace, path: str) -> None:
     with open(path, "w") as handle:
         handle.write(FORMAT_MAGIC + "\n")
         handle.write(f"#name {trace.name}\n")
@@ -103,10 +119,19 @@ def load_trace(path: str) -> Trace:
 
 
 class TraceCache:
-    """Directory-backed cache of generated traces."""
+    """Directory-backed cache of generated traces.
 
-    def __init__(self, directory: str):
+    Traces are immutable once built, so the cache also memoizes loaded
+    ``Trace`` objects in memory (bounded LRU): an experiment sweep that
+    simulates the same workload under dozens of machine configurations
+    generates (or parses) each trace once per process instead of once
+    per run.
+    """
+
+    def __init__(self, directory: str, memo_limit: int = 64):
         self.directory = directory
+        self.memo_limit = memo_limit
+        self._memo: dict[tuple, Trace] = {}
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, name: str, isa: str, scale: float, seed: int) -> str:
@@ -116,9 +141,17 @@ class TraceCache:
 
     def get(self, name: str, isa: str, scale: float, seed: int = 0) -> Trace:
         """Return the trace, generating and caching it on first use."""
+        key = (name, isa, float(scale), int(seed))
+        trace = self._memo.get(key)
+        if trace is not None:
+            return trace
         path = self._path(name, isa, scale, seed)
         if os.path.exists(path):
-            return load_trace(path)
-        trace = build_program_trace(name, isa, scale=scale, seed=seed)
-        save_trace(trace, path)
+            trace = load_trace(path)
+        else:
+            trace = build_program_trace(name, isa, scale=scale, seed=seed)
+            save_trace(trace, path)
+        if len(self._memo) >= self.memo_limit:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = trace
         return trace

@@ -92,11 +92,15 @@ def build_workload_traces(
     isa: str,
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
+    cache=None,
 ) -> list[Trace]:
     """Build the 8 program traces of the workload, in §5.1 order.
 
     The second mpeg2dec instance gets a different seed so its trace is a
-    distinct execution of the same program.
+    distinct execution of the same program.  ``cache`` is an optional
+    :class:`repro.tracegen.serialize.TraceCache`: when given, traces are
+    loaded from (or persisted to) its directory instead of being rebuilt
+    — generation is deterministic, so the result is identical either way.
     """
     if isa not in ("mmx", "mom"):
         raise ValueError(f"unknown ISA {isa!r}")
@@ -105,9 +109,13 @@ def build_workload_traces(
     for name in WORKLOAD_ORDER:
         instance = seen.get(name, 0)
         seen[name] = instance + 1
-        traces.append(
-            build_program_trace(name, isa, scale=scale, seed=seed + 7 * instance)
-        )
+        program_seed = seed + 7 * instance
+        if cache is not None:
+            traces.append(cache.get(name, isa, scale, program_seed))
+        else:
+            traces.append(
+                build_program_trace(name, isa, scale=scale, seed=program_seed)
+            )
     return traces
 
 

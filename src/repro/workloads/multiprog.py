@@ -35,12 +35,17 @@ class MultiprogramScheduler:
     completions_target: int = 8
     _next_program: int = field(default=0, init=False)
     _completions: int = field(default=0, init=False)
+    #: True once the completion target is reached.  A plain attribute
+    #: rather than a property: the simulator loop polls it several times
+    #: per cycle.
+    done: bool = field(default=False, init=False)
 
     def __post_init__(self):
         if self.n_threads < 1:
             raise ValueError("need at least one hardware context")
         if not self.traces:
             raise ValueError("empty workload")
+        self.done = self._completions >= self.completions_target
 
     def initial_assignments(self) -> list[ThreadSlot]:
         """Programs for each context at cycle zero."""
@@ -66,14 +71,11 @@ class MultiprogramScheduler:
         simulation should then drain and stop.
         """
         self._completions += 1
-        if self.done:
+        if self._completions >= self.completions_target:
+            self.done = True
             return None
         return self._issue_next()
 
     @property
     def completions(self) -> int:
         return self._completions
-
-    @property
-    def done(self) -> bool:
-        return self._completions >= self.completions_target

@@ -1,0 +1,192 @@
+"""The experiment run engine: fingerprints, caching, dedup, parallelism."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import (
+    RunRequest,
+    Runner,
+    code_version,
+    execute_request,
+    memory_factory,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.core.fetch import FetchPolicy
+from repro.memory.hierarchy import ConventionalHierarchy
+from repro.memory.perfect import PerfectMemory
+
+#: Small enough for sub-second runs, large enough that every program
+#: contributes instructions.
+SCALE = 1.2e-5
+
+
+def tiny(**overrides) -> RunRequest:
+    base = dict(isa="mmx", n_threads=2, scale=SCALE)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+class TestRunRequest:
+    def test_fingerprint_stable(self):
+        assert tiny().fingerprint("v") == tiny().fingerprint("v")
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"isa": "mom"},
+            {"n_threads": 4},
+            {"memory": "perfect"},
+            {"fetch_policy": "icount"},
+            {"scale": 1.3e-5},
+            {"seed": 1},
+            {"completions_target": 16},
+        ],
+    )
+    def test_fingerprint_covers_every_field(self, change):
+        assert tiny(**change).fingerprint("v") != tiny().fingerprint("v")
+
+    def test_fingerprint_covers_code_version(self):
+        assert tiny().fingerprint("v1") != tiny().fingerprint("v2")
+
+    def test_enum_policy_normalized(self):
+        assert tiny(fetch_policy=FetchPolicy.ICOUNT) == tiny(
+            fetch_policy="icount"
+        )
+
+    def test_code_version_is_stable_hex(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)
+
+    def test_memory_factory(self):
+        assert memory_factory("perfect") is PerfectMemory
+        assert memory_factory("conventional") is ConventionalHierarchy
+        with pytest.raises(ValueError):
+            memory_factory("imaginary")
+
+
+class TestResultRoundTrip:
+    def test_lossless(self):
+        result = execute_request(tiny())
+        rebuilt = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert rebuilt == result
+
+    def test_preserves_nested_stats(self):
+        result = execute_request(tiny())
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.memory.l1.hit_rate == result.memory.l1.hit_rate
+        assert dataclasses.asdict(rebuilt) == dataclasses.asdict(result)
+
+
+class TestRunnerCaching:
+    def test_cold_run_simulates_then_warm_run_does_not(self, tmp_path):
+        cold = Runner(cache_dir=str(tmp_path))
+        first = cold.run(tiny())
+        assert cold.stats.simulated == 1
+
+        warm = Runner(cache_dir=str(tmp_path))
+        second = warm.run(tiny())
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == 1
+        assert second == first
+
+    def test_config_change_misses(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.run(tiny())
+        other = Runner(cache_dir=str(tmp_path))
+        other.run(tiny(memory="perfect"))
+        assert other.stats.disk_hits == 0
+        assert other.stats.simulated == 1
+
+    def test_seed_change_misses(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.run(tiny())
+        other = Runner(cache_dir=str(tmp_path))
+        other.run(tiny(seed=3))
+        assert other.stats.disk_hits == 0
+        assert other.stats.simulated == 1
+
+    def test_code_version_bump_invalidates(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path), version="v1")
+        runner.run(tiny())
+        bumped = Runner(cache_dir=str(tmp_path), version="v2")
+        bumped.run(tiny())
+        assert bumped.stats.disk_hits == 0
+        assert bumped.stats.simulated == 1
+
+    def test_corrupt_cache_entry_resimulated(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path), version="v1")
+        runner.run(tiny())
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{ not json")
+        recovered = Runner(cache_dir=str(tmp_path), version="v1")
+        recovered.run(tiny())
+        assert recovered.stats.simulated == 1
+
+    def test_no_cache_dir_still_memoizes(self):
+        runner = Runner()
+        runner.run(tiny())
+        runner.run(tiny())
+        assert runner.stats.simulated == 1
+        assert runner.stats.memo_hits == 1
+
+    def test_traces_cached_on_disk(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.run(tiny())
+        traces = os.listdir(runner.trace_dir)
+        assert traces and all(t.endswith(".trace") for t in traces)
+
+
+class TestRunnerDedup:
+    def test_duplicate_requests_simulate_once(self):
+        runner = Runner()
+        results = runner.run_batch([tiny(), tiny(), tiny()])
+        assert runner.stats.requested == 3
+        assert runner.stats.deduplicated == 2
+        assert runner.stats.simulated == 1
+        assert len(results) == 1
+
+    def test_distinct_requests_all_run(self):
+        runner = Runner()
+        batch = [tiny(), tiny(isa="mom")]
+        results = runner.run_batch(batch)
+        assert runner.stats.simulated == 2
+        assert set(results) == set(batch)
+
+
+class TestRunnerParallel:
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        batch = [
+            tiny(),
+            tiny(isa="mom"),
+            tiny(memory="perfect"),
+            tiny(fetch_policy="icount"),
+        ]
+        serial = Runner().run_batch(batch)
+        parallel = Runner(jobs=2).run_batch(batch)
+        for request in batch:
+            assert parallel[request] == serial[request], request
+
+    def test_warm_cache_matches_cold_bit_for_bit(self, tmp_path):
+        batch = [tiny(), tiny(isa="mom")]
+        cold = Runner(cache_dir=str(tmp_path)).run_batch(batch)
+        warm_runner = Runner(cache_dir=str(tmp_path))
+        warm = warm_runner.run_batch(batch)
+        assert warm_runner.stats.simulated == 0
+        assert warm == cold
+
+
+class TestRunnerStats:
+    def test_delta_since(self):
+        runner = Runner()
+        before = runner.stats.snapshot()
+        runner.run(tiny())
+        delta = runner.stats.delta_since(before)
+        assert delta["simulated"] == 1
+        assert delta["sim_instructions"] > 0
+        assert delta["sim_cycles"] > 0
