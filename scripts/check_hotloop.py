@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Timing-regression guard for the simulator hot loop.
+
+Re-times the reference configuration pinned in
+``results/hotloop_baseline.json`` (the protocol and machine-drift
+calibration live in :func:`run_experiments.measure_hot_loop`) and fails
+when the drift-normalized speedup over the pre-optimization baseline
+has regressed more than ``--max-regression`` (default 25 %) below the
+recorded ``optimized_speedup``.
+
+The guard also fails when the run's cycle count drifts from the
+baseline: a changed cycle count means the detailed model's semantics
+changed, so the wall-time comparison is no longer like-for-like.  When
+the semantic change is intentional, re-record the baseline and pass
+``--allow-drift`` for the transition run.
+
+Exit status: 0 when within budget, 1 on a regression or drift, 2 when
+the measurement itself could not run.
+
+Usage:  python scripts/check_hotloop.py [--max-regression 0.25]
+            [--allow-drift] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from run_experiments import (  # noqa: E402  (scripts/ is not a package)
+    CACHE_DIR,
+    HOTLOOP_BASELINE,
+    Runner,
+    measure_hot_loop,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="tolerated fractional slowdown vs the recorded "
+        "optimized_speedup (default 0.25)",
+    )
+    parser.add_argument(
+        "--allow-drift", action="store_true",
+        help="do not fail when the cycle count differs from the baseline "
+        "(use for the run that intentionally changes model semantics)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=8,
+        help="timing repeats, min is taken (default 8)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(HOTLOOP_BASELINE):
+        print(f"no baseline at {HOTLOOP_BASELINE}; nothing to guard")
+        return 2
+    with open(HOTLOOP_BASELINE) as handle:
+        baseline = json.load(handle)
+    target = baseline.get("optimized_speedup")
+    if not target:
+        print("baseline has no optimized_speedup record; nothing to guard")
+        return 2
+
+    record = measure_hot_loop(Runner(cache_dir=CACHE_DIR), args.repeats)
+    if record is None:
+        print("hot-loop measurement failed to run")
+        return 2
+
+    if record.get("speedup") is None:
+        print(f"cycle drift: {record.get('note', 'unknown cause')}")
+        if args.allow_drift:
+            print("--allow-drift given; skipping the timing comparison")
+            return 0
+        print(
+            "the detailed model changed semantics; re-record "
+            f"{os.path.relpath(HOTLOOP_BASELINE)} if this is intentional"
+        )
+        return 1
+
+    floor = target / (1.0 + args.max_regression)
+    verdict = "OK" if record["speedup"] >= floor else "REGRESSION"
+    print(
+        f"hot loop: {record['adjusted_before_seconds']:.3f} s baseline -> "
+        f"{record['after_seconds']:.3f} s now "
+        f"(speedup {record['speedup']:.3f}, recorded optimum {target:.3f}, "
+        f"floor {floor:.3f}, machine drift x{record['machine_factor']:.3f}) "
+        f"[{verdict}]"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ import sys
 import time
 
 from repro.analysis import (
+    DEFAULT_SAMPLING,
     Runner,
     run_breakdown_table3,
     run_fig4_ideal,
@@ -209,6 +210,14 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="report file (default results/experiments_scale<scale>.txt; "
         "'-' for stdout only)",
     )
+    parser.add_argument(
+        "--sampling", nargs="?", const="default", default=None,
+        metavar="FF,WIN,WARM",
+        help="statistical sampling: the bare flag uses the default "
+        f"(ff,window,warmup)={DEFAULT_SAMPLING}; or give three "
+        "comma-separated instruction counts.  Every EIPC table then "
+        "reports a 95%% confidence interval.",
+    )
     args = parser.parse_args(argv)
     if args.scale is not None and args.scale_pos is not None:
         parser.error("give the scale positionally or via --scale, not both")
@@ -217,6 +226,17 @@ def parse_args(argv=None) -> argparse.Namespace:
         else args.scale_pos if args.scale_pos is not None
         else DEFAULT_SCALE
     )
+    if args.sampling is not None:
+        if args.sampling == "default":
+            args.sampling = DEFAULT_SAMPLING
+        else:
+            try:
+                parts = tuple(int(v) for v in args.sampling.split(","))
+            except ValueError:
+                parts = ()
+            if len(parts) != 3:
+                parser.error("--sampling takes FF,WIN,WARM (three integers)")
+            args.sampling = parts
     return args
 
 
@@ -235,8 +255,10 @@ def main(argv=None) -> None:
         print(text)
         lines.append(text)
 
+    sampling = args.sampling
     emit(f"# Experiment run at scale={scale:g} (jobs={args.jobs}, "
-         f"cache={'off' if args.no_cache else 'on'})\n")
+         f"cache={'off' if args.no_cache else 'on'}, "
+         f"sampling={'off' if not sampling else sampling})\n")
     start = time.time()
     timings: dict[str, dict] = {}
 
@@ -252,12 +274,12 @@ def main(argv=None) -> None:
         return result
 
     timed("table3", run_breakdown_table3)
-    fig4 = timed("fig4", run_fig4_ideal)
-    fig5 = timed("fig5", run_fig5_real, ideal=fig4)
+    fig4 = timed("fig4", run_fig4_ideal, sampling=sampling)
+    fig5 = timed("fig5", run_fig5_real, ideal=fig4, sampling=sampling)
     timed("table4", run_table4_cache, fig5=fig5)
-    fig6 = timed("fig6", run_fig6_fetch)
-    timed("fig8", run_fig8_decoupled)
-    timed("fig9", run_fig9_summary)
+    fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
+    timed("fig8", run_fig8_decoupled, sampling=sampling)
+    timed("fig9", run_fig9_summary, sampling=sampling)
 
     # Section 5.3's scalar/vector mixing statistic at 8 threads.
     for isa in ("mmx", "mom"):
@@ -288,23 +310,31 @@ def main(argv=None) -> None:
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     if args.output != "-":
+        suffix = "_sampled" if sampling else ""
         report_path = args.output or os.path.join(
-            RESULTS_DIR, f"experiments_scale{scale_tag(scale)}.txt"
+            RESULTS_DIR, f"experiments_scale{scale_tag(scale)}{suffix}.txt"
         )
         with open(report_path, "w") as handle:
             handle.write("\n".join(lines) + "\n")
         print(f"report written to {report_path}")
 
+    # Throughput covers cache hits too: cached results carry the wall
+    # time of the run that produced them, so a fully-cached sweep still
+    # reports the throughput its numbers were simulated at instead of
+    # null.
+    throughput_seconds = stats.sim_seconds + stats.cached_sim_seconds
+    throughput_instructions = stats.sim_instructions + stats.cached_instructions
     bench = {
         "scale": scale,
         "jobs": args.jobs,
         "cache": not args.no_cache,
+        "sampling": list(sampling) if sampling else None,
         "code_version": code_version(),
         "wall_seconds": wall,
         "runner": stats.snapshot(),
         "instructions_per_second": (
-            stats.sim_instructions / stats.sim_seconds
-            if stats.sim_seconds else None
+            throughput_instructions / throughput_seconds
+            if throughput_seconds else None
         ),
         "figures": timings,
     }

@@ -1,7 +1,9 @@
 """Experiment harness: one driver per table/figure of the paper."""
 
 from repro.analysis.experiments import (
+    DEFAULT_SAMPLING,
     ExperimentResult,
+    resolve_sampling,
     run_breakdown_table3,
     run_fig4_ideal,
     run_fig5_real,
@@ -15,9 +17,11 @@ from repro.analysis.reporting import format_table
 from repro.analysis.runner import RunRequest, Runner, RunnerStats
 
 __all__ = [
+    "DEFAULT_SAMPLING",
     "RunRequest",
     "Runner",
     "RunnerStats",
+    "resolve_sampling",
     "ExperimentResult",
     "run_breakdown_table3",
     "run_fig4_ideal",

@@ -121,6 +121,11 @@ class RunRequest:
     scale: float = DEFAULT_SCALE
     seed: int = 0
     completions_target: int = 8
+    #: Statistical sampling parameters ``(ff_len, window_len,
+    #: warmup_len)`` or ``None`` for full detail — forwarded to
+    #: :class:`SMTConfig` and part of the fingerprint: a sampled result
+    #: never masquerades as (or shadows) a full-detail one.
+    sampling: tuple | None = None
 
     def __post_init__(self):
         # Normalize enum-typed policies so RunRequest("mmx", 1,
@@ -129,6 +134,12 @@ class RunRequest:
         if isinstance(self.fetch_policy, FetchPolicy):
             object.__setattr__(self, "fetch_policy", self.fetch_policy.value)
         object.__setattr__(self, "scale", float(self.scale))
+        if self.sampling is not None:
+            # Lists (e.g. from JSON round-trips) and tuples must be the
+            # same request; tuples also keep the dataclass hashable.
+            object.__setattr__(
+                self, "sampling", tuple(int(v) for v in self.sampling)
+            )
 
     def fingerprint(self, version: str | None = None) -> str:
         """Stable cache key: request fields + code version + format."""
@@ -206,7 +217,11 @@ def execute_request(
         request.isa, request.scale, request.seed, trace_dir
     )
     processor = SMTProcessor(
-        SMTConfig(isa=request.isa, n_threads=request.n_threads),
+        SMTConfig(
+            isa=request.isa,
+            n_threads=request.n_threads,
+            sampling=request.sampling,
+        ),
         memory_factory(request.memory)(),
         traces,
         fetch_policy=FetchPolicy(request.fetch_policy),
@@ -216,9 +231,33 @@ def execute_request(
 
 
 def _pool_execute(args: tuple) -> dict:
-    """Worker-process entry point: simulate and return plain data."""
+    """Worker-process entry point: simulate and return timed plain data.
+
+    The per-run wall time is persisted with the cached result so a
+    later fully-cached sweep can still report the throughput of the
+    simulations that produced its numbers.
+    """
     request, trace_dir = args
-    return result_to_dict(execute_request(request, trace_dir))
+    started = time.perf_counter()
+    result = execute_request(request, trace_dir)
+    return {
+        "elapsed": time.perf_counter() - started,
+        "result": result_to_dict(result),
+    }
+
+
+def _instructions_of(result: RunResult) -> int:
+    """Instructions a run actually retired, for throughput accounting.
+
+    A sampled result's ``committed_instructions`` covers only the
+    measurement windows (the quantity its EIPC is defined over); the
+    work the run performed — and the basis of the sampling speedup —
+    is the whole workload it advanced, which the per-program completion
+    ledger records for fast-forwarded and detailed regimes alike.
+    """
+    if result.samples is not None:
+        return int(sum(result.per_program_committed.values()))
+    return result.committed_instructions
 
 
 # ------------------------------------------------------------------ runner
@@ -236,6 +275,12 @@ class RunnerStats:
     sim_seconds: float = 0.0   # wall time spent executing
     sim_instructions: int = 0  # committed instructions across executed runs
     sim_cycles: int = 0        # simulated cycles across executed runs
+    # Provenance of disk-cache hits: the wall time and instruction count
+    # of the runs that originally produced them, so a fully-cached sweep
+    # can still report a meaningful simulation throughput.
+    cached_sim_seconds: float = 0.0
+    cached_instructions: int = 0
+    artifact_hits: int = 0     # derived artifacts served from cache
 
     def snapshot(self) -> dict:
         return asdict(self)
@@ -276,6 +321,7 @@ class Runner:
         self.version = version
         self.stats = RunnerStats()
         self._memo: dict[RunRequest, RunResult] = {}
+        self._artifacts: dict[tuple, object] = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -296,7 +342,10 @@ class Runner:
             self.cache_dir, request.fingerprint(self.version) + ".json"
         )
 
-    def _cache_load(self, request: RunRequest) -> RunResult | None:
+    def _cache_load(
+        self, request: RunRequest
+    ) -> tuple[RunResult, float] | None:
+        """Load a cached result and the wall time that produced it."""
         path = self._cache_path(request)
         if path is None or not os.path.exists(path):
             return None
@@ -307,9 +356,14 @@ class Runner:
             return None
         if payload.get("result_format") != RESULT_FORMAT:
             return None
-        return result_from_dict(payload["result"])
+        return (
+            result_from_dict(payload["result"]),
+            float(payload.get("sim_seconds", 0.0)),
+        )
 
-    def _cache_store(self, request: RunRequest, result: RunResult) -> None:
+    def _cache_store(
+        self, request: RunRequest, result: RunResult, elapsed: float
+    ) -> None:
         path = self._cache_path(request)
         if path is None:
             return
@@ -318,6 +372,7 @@ class Runner:
             "code_version": self.version or code_version(),
             "request": asdict(request),
             "result": result_to_dict(result),
+            "sim_seconds": elapsed,
             "saved_at": time.time(),
         }
         tmp_path = f"{path}.tmp.{os.getpid()}"
@@ -355,8 +410,11 @@ class Runner:
                 continue
             cached = self._cache_load(request)
             if cached is not None:
+                result, elapsed = cached
                 self.stats.disk_hits += 1
-                self._memo[request] = cached
+                self.stats.cached_sim_seconds += elapsed
+                self.stats.cached_instructions += _instructions_of(result)
+                self._memo[request] = result
                 continue
             todo.append(request)
 
@@ -375,8 +433,7 @@ class Runner:
                     )
             else:
                 payloads = [
-                    result_to_dict(execute_request(request, trace_dir))
-                    for request in todo
+                    _pool_execute((request, trace_dir)) for request in todo
                 ]
             self.stats.sim_seconds += time.perf_counter() - started
             for request, payload in zip(todo, payloads):
@@ -384,15 +441,65 @@ class Runner:
                 # disk cache uses, so cold/warm and serial/parallel runs
                 # are bit-identical by construction.
                 result = result_from_dict(
-                    json.loads(json.dumps(payload))
+                    json.loads(json.dumps(payload["result"]))
                 )
                 self.stats.simulated += 1
-                self.stats.sim_instructions += result.committed_instructions
+                self.stats.sim_instructions += _instructions_of(result)
                 self.stats.sim_cycles += result.cycles
                 self._memo[request] = result
-                self._cache_store(request, result)
+                self._cache_store(request, result, payload["elapsed"])
 
         return {request: self._memo[request] for request in unique}
+
+    # ----- derived artifacts ------------------------------------------------
+
+    def artifact(self, name: str, payload: dict, compute):
+        """Cache a JSON-safe derived value keyed by payload + code version.
+
+        For analysis products that are expensive to derive but are pure
+        functions of the simulation source and a parameter payload (the
+        Table 3 instruction breakdown, for instance).  ``compute`` runs
+        only on a cache miss; hits are counted in ``stats.artifact_hits``.
+        Every value — fresh or cached — passes through the same JSON
+        round-trip, so cached and recomputed reports are bit-identical.
+        """
+        blob = json.dumps(
+            {
+                "artifact": name,
+                "payload": payload,
+                "code_version": self.version or code_version(),
+                "result_format": RESULT_FORMAT,
+            },
+            sort_keys=True,
+        )
+        key = hashlib.sha256(blob.encode()).hexdigest()[:40]
+        memo_key = (name, key)
+        if memo_key in self._artifacts:
+            self.stats.artifact_hits += 1
+            return self._artifacts[memo_key]
+        path = (
+            os.path.join(self.cache_dir, f"artifact-{key}.json")
+            if self.cache_dir
+            else None
+        )
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    value = json.load(handle)["value"]
+            except (OSError, ValueError, KeyError):
+                value = None
+            if value is not None:
+                self.stats.artifact_hits += 1
+                self._artifacts[memo_key] = value
+                return value
+        value = json.loads(json.dumps(compute()))
+        self._artifacts[memo_key] = value
+        if path is not None:
+            tmp_path = f"{path}.tmp.{os.getpid()}"
+            with open(tmp_path, "w") as handle:
+                json.dump({"key": key, "value": value}, handle)
+            os.replace(tmp_path, path)
+        return value
 
     # ----- trace access -----------------------------------------------------
 

@@ -37,6 +37,16 @@ class RunResult:
     vector_only_cycles: int = 0
     active_cycles: int = 0
     per_program_committed: dict[str, int] = field(default_factory=dict)
+    #: Sampling parameters ``[ff_len, window_len, warmup_len]`` of a
+    #: sampled run (``None`` for full-detail runs).  Stored as a list so
+    #: the value survives the runner's JSON round-trip bit-identically.
+    sampling: list | None = None
+    #: Per-measurement-window ``[cycles, committed, equivalent]`` deltas
+    #: of a sampled run.  ``cycles``/``committed_instructions``/
+    #: ``committed_equivalent`` above are the sums over these windows, so
+    #: ``eipc`` is the ratio-of-sums estimator; the per-window samples
+    #: carry the dispersion for the confidence interval.
+    samples: list | None = None
 
     @property
     def ipc(self) -> float:
@@ -47,6 +57,36 @@ class RunResult:
     def eipc(self) -> float:
         """Equivalent IPC: MMX-equivalent work per cycle."""
         return self.committed_equivalent / self.cycles if self.cycles else 0.0
+
+    @property
+    def eipc_samples(self) -> list[float]:
+        """Per-window EIPC values of a sampled run (empty if full-detail)."""
+        if not self.samples:
+            return []
+        return [equiv / cycles for cycles, __, equiv in self.samples]
+
+    @property
+    def eipc_mean(self) -> float:
+        """Mean of the per-window EIPCs (``eipc`` itself for full detail)."""
+        samples = self.eipc_samples
+        if not samples:
+            return self.eipc
+        return sum(samples) / len(samples)
+
+    @property
+    def eipc_ci95(self) -> float:
+        """95 % confidence half-width around :attr:`eipc_mean`.
+
+        Zero for full-detail runs (the estimate is exact for the trace),
+        ``inf`` for a sampled run with a single measurement window.
+        """
+        samples = self.eipc_samples
+        if not samples:
+            return 0.0
+        # Imported lazily: stats imports the processor, which imports us.
+        from repro.core.stats import mean_ci95
+
+        return mean_ci95(samples)[1]
 
     @property
     def vector_only_fraction(self) -> float:

@@ -114,12 +114,33 @@ class SMTConfig:
     #: (:mod:`repro.verify.sanitizer`).  Off by default: when disabled
     #: the hooks are a single attribute test, so there is no overhead.
     sanitize: bool = False
+    #: Statistical sampling (SMARTS-style): ``(ff_len, window_len,
+    #: warmup_len)`` in committed (stream-expanded) instructions.  The
+    #: run alternates a functional fast-forward of ``ff_len``
+    #: instructions (branch predictor and cache tags warmed, no pipeline
+    #: timing) with a detailed stretch of ``warmup_len`` unmeasured plus
+    #: ``window_len`` measured instructions; per-window EIPC samples are
+    #: aggregated into a mean and 95 % confidence interval.  ``None``
+    #: (the default) runs full detail end to end.
+    sampling: tuple[int, int, int] | None = None
 
     def __post_init__(self):
         if self.isa not in ("mmx", "mom"):
             raise ValueError(f"unknown ISA {self.isa!r}")
         if self.n_threads < 1:
             raise ValueError("need at least one thread context")
+        if self.sampling is not None:
+            sampling = tuple(int(v) for v in self.sampling)
+            if len(sampling) != 3:
+                raise ValueError(
+                    "sampling must be (ff_len, window_len, warmup_len)"
+                )
+            ff_len, window_len, warmup_len = sampling
+            if window_len < 1:
+                raise ValueError("sampling window must be positive")
+            if ff_len < 0 or warmup_len < 0:
+                raise ValueError("sampling lengths must be non-negative")
+            object.__setattr__(self, "sampling", sampling)
         if self.issue_simd == -1:
             object.__setattr__(
                 self, "issue_simd", 2 if self.isa == "mmx" else 1

@@ -29,6 +29,7 @@ runner's cache fingerprints rely on that.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 
 from repro.core.branch import GsharePredictor
@@ -80,6 +81,76 @@ _IS_STREAM = tuple(info.is_stream for info in _INFO)
 _IS_BRANCH = tuple(info.is_branch for info in _INFO)
 _IS_SIMD = tuple(info.is_simd for info in _INFO)
 _MEM_KIND_OF = tuple(_MEM_KIND.get(op) for op in Opcode)
+
+# --------------------------------------------------------------- fast-forward
+#
+# The sampled mode's fast-forward only has to *warm* long-lived state
+# (gshare tables, cache tags), so the only instructions that matter are
+# branches, memory references and I-cache line changes — typically well
+# under half the trace.  Each trace gets a memoized "plan": the sparse,
+# ordered list of those eventful instructions plus a prefix sum of
+# expanded weights, so whole runs of pure-ALU instructions retire as one
+# subtraction instead of a per-instruction interpreter loop.
+
+_FF_FETCH = 0    # (idx, tag, pc,       0,      0,      None)
+_FF_BRANCH = 1   # (idx, tag, pc,       taken,  0,      None)
+_FF_MEM = 2      # (idx, tag, mem_addr, 0,      0,      kind)
+_FF_STREAM = 3   # (idx, tag, mem_addr, stride, length, kind)
+
+#: plan cache: id(trace) -> (trace, event_indices, events, weight_prefix).
+#: Entries hold the trace itself, so a live plan's id() can never be
+#: reused by a different trace; FIFO-bounded so huge traces from many
+#: scales do not accumulate.
+_FF_PLANS: dict[int, tuple] = {}
+_FF_PLAN_LIMIT = 64
+
+
+def _ff_plan(trace: Trace) -> tuple:
+    key = id(trace)
+    plan = _FF_PLANS.get(key)
+    if plan is not None and plan[0] is trace:
+        return plan
+    events: list[tuple] = []
+    append = events.append
+    prefix = [0] * (len(trace.instructions) + 1)
+    total = 0
+    last_line = -1
+    last_mem_key = None
+    for idx, inst in enumerate(trace.instructions):
+        pc = inst.pc
+        line = pc >> 5
+        if line != last_line:
+            append((idx, _FF_FETCH, pc, 0, 0, None))
+            last_line = line
+        op = inst.op
+        if _IS_BRANCH[op]:
+            append((idx, _FF_BRANCH, pc, inst.taken, 0, None))
+        weight = inst.stream_length
+        if _IS_MEM[op]:
+            kind = _MEM_KIND_OF[op]
+            if weight > 1:
+                append(
+                    (idx, _FF_STREAM, inst.mem_addr, inst.stride, weight,
+                     kind)
+                )
+                last_mem_key = None
+            else:
+                # Consecutive references to one line with one kind
+                # coalesce: right after the first call the line is
+                # already most-recently-used (or, for stores, already
+                # touched), so the repeat cannot change replacement
+                # state on either hierarchy.
+                mem_key = (inst.mem_addr >> 5, kind)
+                if mem_key != last_mem_key:
+                    append((idx, _FF_MEM, inst.mem_addr, 0, 0, kind))
+                    last_mem_key = mem_key
+        total += weight
+        prefix[idx + 1] = total
+    if len(_FF_PLANS) >= _FF_PLAN_LIMIT:
+        _FF_PLANS.pop(next(iter(_FF_PLANS)))
+    plan = (trace, tuple(e[0] for e in events), events, prefix)
+    _FF_PLANS[key] = plan
+    return plan
 
 
 class InFlight:
@@ -252,6 +323,13 @@ class SMTProcessor:
         expected_total = sum(t.expanded_length for t in traces)
         self._warmup_commits = int(warmup_fraction * expected_total)
         self._warm = self._warmup_commits == 0
+        if config.sampling is not None:
+            # Sampled mode: the per-window warmup replaces the global
+            # warmup fraction (a 30 % detailed warmup would defeat the
+            # fast-forward), and measurement is delta-based per window,
+            # so the boundary reset machinery must stay inert.
+            self._warmup_commits = 0
+            self._warm = True
         self._base_cycles = 0
         self._base_committed = 0
         self._base_equiv = 0.0
@@ -658,6 +736,8 @@ class SMTProcessor:
 
     def run(self) -> RunResult:
         """Simulate until the completion target is reached."""
+        if self.config.sampling is not None:
+            return self._run_sampled()
         step = self.step
         scheduler = self.scheduler
         max_cycles = self.max_cycles
@@ -666,21 +746,41 @@ class SMTProcessor:
                 target = self._skip_target()
                 if target > self.now:
                     self.now = target
-        if self.now >= max_cycles:
+        self._check_livelock()
+        self._finalize_sanitizer()
+        return self._make_result(
+            cycles=self.now - self._base_cycles,
+            committed_instructions=self.committed - self._base_committed,
+            committed_equivalent=self.committed_equiv - self._base_equiv,
+        )
+
+    def _check_livelock(self) -> None:
+        if self.now >= self.max_cycles:
             raise RuntimeError(
                 f"simulation exceeded {self.max_cycles} cycles — livelock?"
             )
+
+    def _finalize_sanitizer(self) -> None:
         if self.sanitizer is not None:
             self.sanitizer.finalize(
                 self.now, self.window, self.queues.values(), self.memory
             )
+
+    def _make_result(
+        self,
+        cycles: int,
+        committed_instructions: int,
+        committed_equivalent: float,
+        sampling: list | None = None,
+        samples: list | None = None,
+    ) -> RunResult:
         return RunResult(
             isa=self.config.isa,
             n_threads=self.config.n_threads,
             fetch_policy=self.fetch_policy.value,
-            cycles=self.now - self._base_cycles,
-            committed_instructions=self.committed - self._base_committed,
-            committed_equivalent=self.committed_equiv - self._base_equiv,
+            cycles=cycles,
+            committed_instructions=committed_instructions,
+            committed_equivalent=committed_equivalent,
             program_completions=self.scheduler.completions,
             memory=self.memory.stats,
             mispredict_rate=self.predictor.mispredict_rate,
@@ -691,4 +791,223 @@ class SMTProcessor:
             vector_only_cycles=self.vector_only_cycles,
             active_cycles=self.active_cycles,
             per_program_committed=dict(self.per_program_committed),
+            sampling=sampling,
+            samples=samples,
+        )
+
+    # ------------------------------------------------------------- sampling
+
+    def _run_detailed_for(self, commits: int) -> None:
+        """Advance the detailed model until ``commits`` more retire."""
+        target = self.committed + commits
+        step = self.step
+        scheduler = self.scheduler
+        max_cycles = self.max_cycles
+        while (
+            self.committed < target
+            and not scheduler.done
+            and self.now < max_cycles
+        ):
+            if not step() and not scheduler.done:
+                skip = self._skip_target()
+                if skip > self.now:
+                    self.now = skip
+
+    def _drain_pipeline(self) -> None:
+        """Retire all in-flight work without fetching anything new.
+
+        Runs the detailed model with fetch frozen (every thread's stall
+        horizon pushed past ``max_cycles``) until the graduation window,
+        the wake lists and the decode buffers are empty, so the
+        fast-forward can take over at a clean instruction boundary — no
+        dispatched instruction is ever skipped or double-counted.
+        """
+        threads = self.threads
+        sentinel = self.max_cycles + 1
+        saved = [ctx.fetch_stall_until for ctx in threads]
+        for ctx in threads:
+            ctx.fetch_stall_until = sentinel
+        scheduler = self.scheduler
+        max_cycles = self.max_cycles
+        while (
+            (
+                self.window.occupancy
+                or self._wake
+                or any(ctx.decode for ctx in threads)
+            )
+            and not scheduler.done
+            and self.now < max_cycles
+        ):
+            if not self.step() and not scheduler.done:
+                # The frozen stall horizons must not drive the idle skip,
+                # so only the wake lists are consulted here.
+                if self._wake:
+                    skip = min(self._wake)
+                    if skip > self.now:
+                        self.now = skip
+        for ctx, stall in zip(threads, saved):
+            ctx.fetch_stall_until = stall
+
+    def _fast_forward(self, budget: int) -> None:
+        """Functionally retire ``budget`` (expanded) instructions.
+
+        No rename/issue/window bookkeeping and no cycle accounting —
+        instructions retire straight off the traces, in round-robin
+        chunks across threads so cache interleaving resembles the
+        detailed execution.  Long-lived predictor and cache state stays
+        live: branches train the shared gshare tables and memory
+        references run the hierarchies' warming-only tag path.  Pure-ALU
+        instructions carry no long-lived state, so each trace's memoized
+        plan (:func:`_ff_plan`) lets a chunk retire as one prefix-sum
+        subtraction plus a walk of only its eventful instructions.  Must
+        be called with the pipeline drained (:meth:`_drain_pipeline`).
+        """
+        threads = self.threads
+        scheduler = self.scheduler
+        predictor = self.predictor
+        predict = predictor.predict_and_update
+        memory = self.memory
+        warm = memory.warm
+        warm_stream = memory.warm_stream
+        warm_fetch = memory.warm_fetch
+        by_thread = self.committed_by_thread
+        n_threads = len(threads)
+        plans: list[tuple | None] = [None] * n_threads
+        positions = [0] * n_threads
+        for ctx in threads:
+            if ctx.trace is not None:
+                plan = _ff_plan(ctx.trace)
+                plans[ctx.index] = plan
+                # Detailed windows advance fetch_idx without touching the
+                # plan cursor, so re-seat it on every fast-forward entry.
+                positions[ctx.index] = bisect_left(plan[1], ctx.fetch_idx)
+        chunk = 128
+        remaining = budget
+        while remaining > 0 and not scheduler.done:
+            progressed = False
+            for ctx in threads:
+                if remaining <= 0 or scheduler.done:
+                    break
+                trace = ctx.trace
+                if trace is None:
+                    continue
+                thread = ctx.index
+                idx = ctx.fetch_idx
+                trace_len = ctx.trace_len
+                if idx < trace_len:
+                    _, ev_idx, events, prefix = plans[thread]
+                    end = idx + chunk
+                    if end > trace_len:
+                        end = trace_len
+                    pos = positions[thread]
+                    n_events = len(ev_idx)
+                    while pos < n_events and ev_idx[pos] < end:
+                        event = events[pos]
+                        pos += 1
+                        tag = event[1]
+                        if tag == _FF_FETCH:
+                            warm_fetch(thread, event[2])
+                        elif tag == _FF_BRANCH:
+                            predict(thread, event[2], event[3])
+                        elif tag == _FF_MEM:
+                            warm(thread, event[2], event[5])
+                        else:
+                            warm_stream(
+                                thread, event[2], event[3], event[4],
+                                event[5],
+                            )
+                    positions[thread] = pos
+                    committed = prefix[end] - prefix[idx]
+                    idx = end
+                    ctx.fetch_idx = end
+                    remaining -= committed
+                    self.committed += committed
+                    by_thread[thread] += committed
+                    self.committed_equiv += committed * ctx.equiv_per_inst
+                    progressed = True
+                if idx >= trace_len:
+                    # Program fully consumed (pipeline is drained, so
+                    # nothing of it is in flight): rotate the workload
+                    # exactly as the commit stage does.
+                    name = trace.name
+                    self.per_program_committed[name] = (
+                        self.per_program_committed.get(name, 0)
+                        + ctx.trace_expanded
+                    )
+                    replacement = scheduler.on_completion()
+                    if replacement is None:
+                        ctx.trace = None
+                        plans[thread] = None
+                    else:
+                        ctx.assign(replacement.trace)
+                        predictor.reset_thread(thread)
+                        plans[thread] = _ff_plan(replacement.trace)
+                        positions[thread] = 0
+                    progressed = True
+            if not progressed:
+                break
+
+    def _run_sampled(self) -> RunResult:
+        """SMARTS-style sampled run: fast-forward, warm up, measure.
+
+        Each period functionally fast-forwards ``ff_len`` instructions
+        (predictor/cache state warmed, no timing), runs ``warmup_len``
+        instructions of unmeasured detailed execution to refill the
+        pipeline and short-lived structures, then measures EIPC over a
+        ``window_len``-instruction detailed window.  The reported
+        ``cycles``/``committed``/``equivalent`` are sums over the
+        measurement windows (ratio-of-sums EIPC); the per-window deltas
+        are returned as ``samples`` for the confidence interval.
+        """
+        ff_len, window_len, warmup_len = self.config.sampling
+        scheduler = self.scheduler
+        # Bound the fast-forward so degenerate parameter/workload pairs
+        # (a tiny trace under a huge ff_len) still measure something:
+        # at least four sampling periods must fit in the expected run.
+        workload = scheduler.traces
+        expected = sum(
+            workload[i % len(workload)].expanded_length
+            for i in range(scheduler.completions_target)
+        )
+        ff_cap = expected // 4 - warmup_len - window_len
+        if ff_len > ff_cap:
+            ff_len = max(0, ff_cap)
+        samples: list[list] = []
+        cycles = 0
+        committed = 0
+        equivalent = 0.0
+        while not scheduler.done and self.now < self.max_cycles:
+            if ff_len:
+                self._fast_forward(ff_len)
+                if scheduler.done:
+                    break
+            if warmup_len:
+                self._run_detailed_for(warmup_len)
+                if scheduler.done:
+                    break
+            base_now = self.now
+            base_committed = self.committed
+            base_equiv = self.committed_equiv
+            self._run_detailed_for(window_len)
+            window_cycles = self.now - base_now
+            window_committed = self.committed - base_committed
+            if window_cycles and window_committed:
+                window_equiv = self.committed_equiv - base_equiv
+                samples.append(
+                    [window_cycles, window_committed, window_equiv]
+                )
+                cycles += window_cycles
+                committed += window_committed
+                equivalent += window_equiv
+            if scheduler.done:
+                break
+            self._drain_pipeline()
+        self._check_livelock()
+        self._finalize_sanitizer()
+        return self._make_result(
+            cycles=cycles,
+            committed_instructions=committed,
+            committed_equivalent=equivalent,
+            sampling=list(self.config.sampling),
+            samples=samples,
         )

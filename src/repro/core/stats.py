@@ -10,10 +10,59 @@ and the test suite; costs one callback per simulated cycle when enabled.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.smt import SMTProcessor
+
+# ------------------------------------------------------------------ sampling
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom.  The
+#: sampled-simulation windows are few (tens per run), so the normal 1.96
+#: would understate the interval; beyond df=30 the table converges to
+#: the asymptote fast enough that the last entry serves.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("need at least one degree of freedom")
+    if df in _T95:
+        return _T95[df]
+    for bound in (40, 60, 120):
+        if df <= bound:
+            return _T95[bound]
+    return 1.960
+
+
+def mean_ci95(samples: list[float]) -> tuple[float, float]:
+    """Sample mean and 95 % confidence half-width.
+
+    Aggregates the per-window EIPC samples of a sampled simulation run
+    (SMARTS-style: the window means are treated as i.i.d. draws from the
+    program's phase mixture).  With fewer than two samples the interval
+    is undefined and the half-width is ``inf`` — callers must not claim
+    convergence from a single window.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, math.inf
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    half = t_critical_95(n - 1) * math.sqrt(variance / n)
+    return mean, half
 
 
 @dataclass

@@ -159,6 +159,66 @@ class DecoupledHierarchy(MemorySystem):
             index += group
         return done
 
+    # ----- warming-only path (sampled simulation fast-forward) -------------
+
+    def _warm_vector_line(self, phys: int, is_store: bool) -> None:
+        """Timing-free vector access: exclusive-bit invalidate + L2 touch."""
+        if self.l1.contains(phys):
+            # The eviction is a genuine state change the detailed path
+            # would also perform; the statistics counter, like all stats,
+            # is not touched on the warming path.
+            self.l1.invalidate(phys)
+        self.l2.tags.fill(phys >> self.l2._line_shift, dirty=is_store)
+
+    def warm(self, thread: int, addr: int, kind: AccessType) -> None:
+        """Tag/replacement update matching :meth:`access`, no timing.
+
+        Scalar references follow the conventional L1 policy (loads
+        allocate and warm L2, stores touch LRU only); vector references
+        bypass to L2 and apply the exclusive-bit invalidation the
+        detailed path enforces — the coherence-state side of sampling
+        must stay faithful or the sanitizer's stream-bypass rule breaks
+        in the first detailed window.
+        """
+        phys = physical_address(thread, addr)
+        if kind is AccessType.VECTOR_LOAD or kind is AccessType.VECTOR_STORE:
+            self._warm_vector_line(phys, kind is AccessType.VECTOR_STORE)
+            return
+        line = phys >> self.l1._line_shift
+        tags = self.l1.tags
+        if kind is AccessType.SCALAR_STORE:
+            tags.lookup(line)
+        elif not tags.lookup(line):
+            tags.fill(line)
+            self.l2.tags.fill(phys >> self.l2._line_shift)
+
+    def warm_stream(
+        self, thread: int, base: int, stride: int, count: int, kind: AccessType
+    ) -> None:
+        """Per-L2-line coalesced warming, mirroring :meth:`access_stream`."""
+        is_store = kind is AccessType.VECTOR_STORE
+        line_shift = self.l2._line_shift
+        index = 0
+        while index < count:
+            addr = base + index * stride
+            line = addr >> line_shift
+            group = 1
+            while (
+                index + group < count
+                and (base + (index + group) * stride) >> line_shift == line
+            ):
+                group += 1
+            self._warm_vector_line(physical_address(thread, addr), is_store)
+            index += group
+
+    def warm_fetch(self, thread: int, pc: int) -> None:
+        """I-cache tag warming matching :meth:`fetch` (fills from L2)."""
+        phys = physical_address(thread, pc)
+        tags = self.icache.tags
+        if not tags.lookup(phys >> self.icache._line_shift):
+            tags.fill(phys >> self.icache._line_shift)
+            self.l2.tags.fill(phys >> self.l2._line_shift)
+
     def reset_stats(self) -> None:
         from repro.memory.interface import CacheStats, MemoryStats
 

@@ -148,6 +148,66 @@ class ConventionalHierarchy(MemorySystem):
             index += group
         return done
 
+    # ----- warming-only path (sampled simulation fast-forward) -------------
+
+    def _warm_l2(self, phys: int, dirty: bool = False) -> None:
+        """Touch (or fill) the L2 line holding ``phys``; timing-free."""
+        self.l2.tags.fill(phys >> self.l2._line_shift, dirty=dirty)
+
+    def warm(self, thread: int, addr: int, kind: AccessType) -> None:
+        """Tag/replacement update matching :meth:`access`, no timing.
+
+        Loads allocate in L1 (filling from — and therefore also warming —
+        L2); stores follow the write-through no-allocate policy: they
+        touch an existing L1 line's LRU position and otherwise leave the
+        tags alone (the detailed store path never reads L2 either — the
+        write buffer drain is timing-only).
+        """
+        phys = physical_address(thread, addr)
+        line = phys >> self.l1._line_shift
+        tags = self.l1.tags
+        if kind is AccessType.SCALAR_STORE or kind is AccessType.VECTOR_STORE:
+            tags.lookup(line)
+            return
+        if not tags.lookup(line):
+            tags.fill(line)
+            self._warm_l2(phys)
+
+    def warm_stream(
+        self, thread: int, base: int, stride: int, count: int, kind: AccessType
+    ) -> None:
+        """Per-L1-line coalesced warming, mirroring :meth:`access_stream`."""
+        is_store = kind is AccessType.VECTOR_STORE
+        line_shift = self.l1._line_shift
+        tags = self.l1.tags
+        index = 0
+        while index < count:
+            addr = base + index * stride
+            line = addr >> line_shift
+            group = 1
+            while (
+                index + group < count
+                and (base + (index + group) * stride) >> line_shift == line
+            ):
+                group += 1
+            phys = physical_address(thread, addr)
+            phys_line = phys >> line_shift
+            if is_store:
+                tags.lookup(phys_line)
+            elif not tags.lookup(phys_line):
+                tags.fill(phys_line)
+                self._warm_l2(phys)
+            index += group
+
+    def warm_fetch(self, thread: int, pc: int) -> None:
+        """I-cache tag warming matching :meth:`fetch` (fills from L2)."""
+        phys = physical_address(thread, pc)
+        tags = self.icache.tags
+        line = phys >> self.icache._line_shift
+        if not tags.lookup(line):
+            tags.fill(line)
+            self._warm_l2(phys)
+
     def reset_stats(self) -> None:
         from repro.memory.interface import CacheStats, MemoryStats
 

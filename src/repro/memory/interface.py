@@ -119,6 +119,28 @@ class MemorySystem:
         """Instruction-cache access for a fetch group; completion cycle."""
         raise NotImplementedError
 
+    # ----- warming-only path (sampled simulation fast-forward) -------------
+
+    def warm(self, thread: int, addr: int, kind: AccessType) -> None:
+        """Warming-only data access: update tags/replacement, no timing.
+
+        The sampled-simulation fast-forward drives cache state through
+        this path so the detailed measurement windows start with a warm
+        hierarchy.  Implementations update exactly the state the
+        detailed path would (tag residency, LRU order, the decoupled
+        exclusive-bit rule) while skipping ports, banks, MSHR timing and
+        all statistics counters.  The stateless default (perfect memory)
+        is a no-op.
+        """
+
+    def warm_stream(
+        self, thread: int, base: int, stride: int, count: int, kind: AccessType
+    ) -> None:
+        """Warming-only MOM stream access (see :meth:`warm`)."""
+
+    def warm_fetch(self, thread: int, pc: int) -> None:
+        """Warming-only instruction fetch (see :meth:`warm`)."""
+
     def reset_stats(self) -> None:
         """Zero all counters (warmup boundary); tag state is preserved."""
         self.stats = MemoryStats()

@@ -44,6 +44,7 @@ class TestRunRequest:
             {"scale": 1.3e-5},
             {"seed": 1},
             {"completions_target": 16},
+            {"sampling": (5000, 500, 100)},
         ],
     )
     def test_fingerprint_covers_every_field(self, change):
@@ -190,3 +191,50 @@ class TestRunnerStats:
         assert delta["simulated"] == 1
         assert delta["sim_instructions"] > 0
         assert delta["sim_cycles"] > 0
+
+    def test_cache_hits_carry_sim_provenance(self, tmp_path):
+        # A cached result remembers the wall time and size of the run
+        # that produced it, so fully-cached sweeps can still report the
+        # throughput behind their numbers instead of null.
+        cold = Runner(cache_dir=str(tmp_path))
+        result = cold.run(tiny())
+        warm = Runner(cache_dir=str(tmp_path))
+        warm.run(tiny())
+        assert warm.stats.simulated == 0
+        assert warm.stats.cached_sim_seconds > 0
+        assert warm.stats.cached_instructions == (
+            result.committed_instructions
+        )
+
+
+class TestArtifactCache:
+    def test_computed_once_and_round_tripped(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path), version="v1")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1.5, "names": ["a", "b"]}
+
+        first = runner.artifact("t", {"scale": "1"}, compute)
+        again = runner.artifact("t", {"scale": "1"}, compute)
+        assert first == again == {"x": 1.5, "names": ["a", "b"]}
+        assert len(calls) == 1
+        assert runner.stats.artifact_hits == 1
+
+    def test_persists_across_runners(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path), version="v1")
+        runner.artifact("t", {"scale": "1"}, lambda: [1, 2])
+        fresh = Runner(cache_dir=str(tmp_path), version="v1")
+        value = fresh.artifact(
+            "t", {"scale": "1"}, lambda: pytest.fail("should be cached")
+        )
+        assert value == [1, 2]
+        assert fresh.stats.artifact_hits == 1
+
+    def test_keyed_by_payload_and_version(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path), version="v1")
+        assert runner.artifact("t", {"scale": "1"}, lambda: 1) == 1
+        assert runner.artifact("t", {"scale": "2"}, lambda: 2) == 2
+        bumped = Runner(cache_dir=str(tmp_path), version="v2")
+        assert bumped.artifact("t", {"scale": "1"}, lambda: 3) == 3
