@@ -57,13 +57,38 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if not os.path.exists(HOTLOOP_BASELINE):
-        print(f"no baseline at {HOTLOOP_BASELINE}; nothing to guard")
+        print(
+            f"error: no hot-loop baseline at {HOTLOOP_BASELINE}.\n"
+            "The guard compares current timings against a recorded "
+            "pre-optimization run; restore the file from version control "
+            "(git checkout -- results/hotloop_baseline.json) or re-record "
+            "it per the protocol in run_experiments.measure_hot_loop."
+        )
         return 2
-    with open(HOTLOOP_BASELINE) as handle:
-        baseline = json.load(handle)
+    try:
+        with open(HOTLOOP_BASELINE) as handle:
+            baseline = json.load(handle)
+        if not isinstance(baseline, dict):
+            raise ValueError("baseline JSON is not an object")
+        for field in ("config", "before_seconds", "calibration_seconds"):
+            if field not in baseline:
+                raise KeyError(field)
+    except (OSError, ValueError, KeyError) as exc:
+        print(
+            f"error: hot-loop baseline {HOTLOOP_BASELINE} is "
+            f"unreadable or malformed ({exc!r}).\n"
+            "Restore it from version control "
+            "(git checkout -- results/hotloop_baseline.json) or re-record "
+            "it per the protocol in run_experiments.measure_hot_loop."
+        )
+        return 2
     target = baseline.get("optimized_speedup")
     if not target:
-        print("baseline has no optimized_speedup record; nothing to guard")
+        print(
+            "baseline has no optimized_speedup record; nothing to guard. "
+            "Re-record results/hotloop_baseline.json with the current "
+            "optimized timing to arm the guard."
+        )
         return 2
 
     record = measure_hot_loop(Runner(cache_dir=CACHE_DIR), args.repeats)

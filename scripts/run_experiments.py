@@ -20,8 +20,19 @@ Runtime knobs:
   Runtime grows roughly linearly with scale; 2e-5 suits smoke tests.
 * ``--jobs`` — worker processes for cache-missing simulations.
 
+The sweep is fault tolerant (``docs/RESILIENCE.md``): every completed
+simulation persists to the runcache immediately, so a sweep killed at
+any point — even SIGKILL — resumes from its completed points on the
+next invocation (a figure-level checkpoint in the cache directory
+reports what a resumed sweep skipped).  ``--timeout`` bounds each run's
+wall clock, transient worker failures retry with seeded backoff, and
+``--max-failures`` / ``--fail-fast`` choose between salvaging partial
+results and aborting early; a sweep that still has permanently-failed
+points prints a structured failure report and exits with status 3.
+
 Usage:  python scripts/run_experiments.py [--scale S] [--jobs N]
-            [--no-cache] [--output PATH|-]
+            [--no-cache] [--output PATH|-] [--timeout S] [--retries N]
+            [--max-failures N | --fail-fast]
 """
 
 from __future__ import annotations
@@ -35,7 +46,9 @@ import time
 
 from repro.analysis import (
     DEFAULT_SAMPLING,
+    ResilienceConfig,
     Runner,
+    SweepFailure,
     run_breakdown_table3,
     run_fig4_ideal,
     run_fig5_real,
@@ -44,7 +57,11 @@ from repro.analysis import (
     run_fig9_summary,
     run_table4_cache,
 )
-from repro.analysis.runner import code_version
+from repro.analysis.runner import (
+    code_version,
+    read_checked_json,
+    write_checked_json,
+)
 
 #: Default fidelity: 1e-4 = one trace instruction per 10k paper instructions.
 DEFAULT_SCALE = 1e-4
@@ -137,9 +154,17 @@ def measure_hot_loop(runner: Runner, repeats: int = 8) -> dict | None:
     """
     if not os.path.exists(HOTLOOP_BASELINE):
         return None
-    with open(HOTLOOP_BASELINE) as handle:
-        baseline = json.load(handle)
-    cfg = baseline["config"]
+    try:
+        with open(HOTLOOP_BASELINE) as handle:
+            baseline = json.load(handle)
+        cfg = baseline["config"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(
+            f"warning: hot-loop baseline {HOTLOOP_BASELINE} is unreadable "
+            f"({exc!r}); skipping the hot-loop re-measurement",
+            file=sys.stderr,
+        )
+        return None
     payload = dict(cfg, repeats=repeats, trace_dir=runner.trace_dir)
     if payload["trace_dir"]:
         # Warm the on-disk trace cache so the child only deserializes.
@@ -187,6 +212,55 @@ def measure_hot_loop(runner: Runner, repeats: int = 8) -> dict | None:
     return record
 
 
+class SweepCheckpoint:
+    """Figure-level progress marker for killed sweeps.
+
+    The runcache itself is the point-level checkpoint — every completed
+    simulation persists the moment it finishes — so a rerun after a
+    crash never re-simulates completed points.  On top of that, this
+    file (``sweep-checkpoint.json`` in the cache directory, checksummed
+    and atomically written like every cache entry) records which
+    figures already completed, so a resumed invocation can say what it
+    is skipping.  The key ties the checkpoint to (scale, sampling, code
+    version); a mismatched or unreadable checkpoint is simply ignored.
+    It is removed when a sweep runs to completion.
+    """
+
+    def __init__(self, cache_dir: str | None, key: dict):
+        self.path = (
+            os.path.join(cache_dir, "sweep-checkpoint.json")
+            if cache_dir
+            else None
+        )
+        self.key = key
+        self.completed: list[str] = []
+        self.resumed_from: list[str] = []
+        if self.path and os.path.exists(self.path):
+            payload, status = read_checked_json(self.path)
+            if status == "ok" and payload.get("key") == key:
+                self.resumed_from = list(payload.get("completed", []))
+
+    def mark(self, name: str) -> None:
+        self.completed.append(name)
+        if self.path is None:
+            return
+        try:
+            write_checked_json(
+                self.path,
+                {
+                    "key": self.key,
+                    "completed": self.completed,
+                    "updated_at": time.time(),
+                },
+            )
+        except OSError:
+            pass  # a lost checkpoint only costs the resume notice
+
+    def clear(self) -> None:
+        if self.path and os.path.exists(self.path):
+            os.unlink(self.path)
+
+
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -211,6 +285,37 @@ def parse_args(argv=None) -> argparse.Namespace:
         "'-' for stdout only)",
     )
     parser.add_argument(
+        "--cache-dir", default=None,
+        help="result/trace cache directory (default results/.runcache; "
+        "ignored with --no-cache)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget: a run exceeding it is killed, "
+        "charged a timeout failure and retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="retries per run for transient failures — worker crashes, "
+        "timeouts, I/O errors (default 3)",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort the sweep once N points have failed permanently "
+        "(default: salvage mode — finish and cache every completable "
+        "point, then report the failures and exit 3)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first permanently-failed point instead of "
+        "salvaging the rest of the sweep",
+    )
+    parser.add_argument(
+        "--no-hotloop", action="store_true",
+        help="skip the hot-loop re-measurement (used by harnesses that "
+        "run many short sweeps)",
+    )
+    parser.add_argument(
         "--sampling", nargs="?", const="default", default=None,
         metavar="FF,WIN,WARM",
         help="statistical sampling: the bare flag uses the default "
@@ -221,6 +326,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.scale is not None and args.scale_pos is not None:
         parser.error("give the scale positionally or via --scale, not both")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.max_failures is not None and args.max_failures < 1:
+        parser.error("--max-failures must be >= 1")
     args.scale = (
         args.scale if args.scale is not None
         else args.scale_pos if args.scale_pos is not None
@@ -240,13 +349,33 @@ def parse_args(argv=None) -> argparse.Namespace:
     return args
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     args = parse_args(argv)
     scale = args.scale
-    runner = Runner(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else CACHE_DIR,
+    sampling = args.sampling
+    cache_dir = None if args.no_cache else (args.cache_dir or CACHE_DIR)
+    resilience = ResilienceConfig(
+        timeout=args.timeout,
+        max_attempts=args.retries + 1,
+        max_failures=args.max_failures,
+        fail_fast=args.fail_fast,
     )
+    runner = Runner(jobs=args.jobs, cache_dir=cache_dir, resilience=resilience)
+    checkpoint = SweepCheckpoint(
+        cache_dir,
+        key={
+            "scale": repr(scale),
+            "sampling": list(sampling) if sampling else None,
+            "code_version": code_version(),
+        },
+    )
+    if checkpoint.resumed_from:
+        # Stdout only, never the report: a straight-through sweep and a
+        # killed-and-resumed sweep must produce identical report files.
+        print(
+            f"resuming from checkpoint: {', '.join(checkpoint.resumed_from)} "
+            "completed previously; their points are served from the runcache"
+        )
 
     lines: list[str] = []
 
@@ -255,7 +384,6 @@ def main(argv=None) -> None:
         print(text)
         lines.append(text)
 
-    sampling = args.sampling
     emit(f"# Experiment run at scale={scale:g} (jobs={args.jobs}, "
          f"cache={'off' if args.no_cache else 'on'}, "
          f"sampling={'off' if not sampling else sampling})\n")
@@ -271,15 +399,75 @@ def main(argv=None) -> None:
             **runner.stats.delta_since(before),
         }
         emit(result.report, "\n")
+        checkpoint.mark(name)
         return result
 
-    timed("table3", run_breakdown_table3)
-    fig4 = timed("fig4", run_fig4_ideal, sampling=sampling)
-    fig5 = timed("fig5", run_fig5_real, ideal=fig4, sampling=sampling)
-    timed("table4", run_table4_cache, fig5=fig5)
-    fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
-    timed("fig8", run_fig8_decoupled, sampling=sampling)
-    timed("fig9", run_fig9_summary, sampling=sampling)
+    def write_bench(status: str, hot_loop: dict | None = None) -> None:
+        stats = runner.stats
+        # Throughput covers cache hits too: cached results carry the
+        # wall time of the run that produced them, so a fully-cached
+        # sweep still reports the throughput its numbers were simulated
+        # at instead of null.
+        throughput_seconds = stats.sim_seconds + stats.cached_sim_seconds
+        throughput_instructions = (
+            stats.sim_instructions + stats.cached_instructions
+        )
+        bench = {
+            "scale": scale,
+            "jobs": args.jobs,
+            "cache": not args.no_cache,
+            "sampling": list(sampling) if sampling else None,
+            "code_version": code_version(),
+            "status": status,
+            "wall_seconds": time.time() - start,
+            "resumed_figures": checkpoint.resumed_from,
+            "resilience": {
+                "timeout": args.timeout,
+                "max_attempts": args.retries + 1,
+                "max_failures": args.max_failures,
+                "fail_fast": args.fail_fast,
+            },
+            "runner": stats.snapshot(),
+            "failures": [
+                outcome.to_dict()
+                for outcome in runner.outcomes.values()
+                if outcome.status != "ok"
+            ],
+            "instructions_per_second": (
+                throughput_instructions / throughput_seconds
+                if throughput_seconds else None
+            ),
+            "figures": timings,
+        }
+        if hot_loop is not None:
+            bench["hot_loop"] = hot_loop
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        bench_path = os.path.join(RESULTS_DIR, "BENCH_experiments.json")
+        with open(bench_path, "w") as handle:
+            json.dump(bench, handle, indent=2)
+            handle.write("\n")
+        print(f"timing data written to {bench_path}")
+
+    try:
+        timed("table3", run_breakdown_table3)
+        fig4 = timed("fig4", run_fig4_ideal, sampling=sampling)
+        fig5 = timed("fig5", run_fig5_real, ideal=fig4, sampling=sampling)
+        timed("table4", run_table4_cache, fig5=fig5)
+        fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
+        timed("fig8", run_fig8_decoupled, sampling=sampling)
+        timed("fig9", run_fig9_summary, sampling=sampling)
+    except SweepFailure as failure:
+        # Completed points are cached; the checkpoint stays so a rerun
+        # resumes instead of restarting.
+        print(f"\n{failure.summary()}", file=sys.stderr)
+        print(
+            "sweep stopped; every completed point is cached — fix the "
+            "cause (or relax --max-failures) and rerun to resume from "
+            "the checkpoint",
+            file=sys.stderr,
+        )
+        write_bench("failed")
+        return 3
 
     # Section 5.3's scalar/vector mixing statistic at 8 threads.
     for isa in ("mmx", "mom"):
@@ -290,7 +478,7 @@ def main(argv=None) -> None:
             f"(paper: {'1%' if isa == 'mmx' else '4%'})"
         )
 
-    hot_loop = measure_hot_loop(runner)
+    hot_loop = None if args.no_hotloop else measure_hot_loop(runner)
     if hot_loop is not None and hot_loop.get("speedup"):
         emit(
             f"\nhot loop (mom/8T/conventional/rr @1e-4): "
@@ -306,6 +494,15 @@ def main(argv=None) -> None:
         f"\nruns: {stats.requested} requested, {stats.deduplicated} deduped, "
         f"{stats.memo_hits + stats.disk_hits} cached, {stats.simulated} simulated"
     )
+    if stats.retries or stats.timeouts or stats.pool_breaks or stats.corrupt_quarantined:
+        # Stdout only (not the report): fault handling varies run to
+        # run, the tables must not.
+        print(
+            f"resilience: {stats.retries} retries, {stats.timeouts} timeouts, "
+            f"{stats.pool_breaks} pool restarts, "
+            f"{stats.corrupt_quarantined} corrupt cache entries quarantined, "
+            f"{stats.degraded} serial degradations"
+        )
     emit(f"total wall time: {wall:.0f} s")
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -318,34 +515,10 @@ def main(argv=None) -> None:
             handle.write("\n".join(lines) + "\n")
         print(f"report written to {report_path}")
 
-    # Throughput covers cache hits too: cached results carry the wall
-    # time of the run that produced them, so a fully-cached sweep still
-    # reports the throughput its numbers were simulated at instead of
-    # null.
-    throughput_seconds = stats.sim_seconds + stats.cached_sim_seconds
-    throughput_instructions = stats.sim_instructions + stats.cached_instructions
-    bench = {
-        "scale": scale,
-        "jobs": args.jobs,
-        "cache": not args.no_cache,
-        "sampling": list(sampling) if sampling else None,
-        "code_version": code_version(),
-        "wall_seconds": wall,
-        "runner": stats.snapshot(),
-        "instructions_per_second": (
-            throughput_instructions / throughput_seconds
-            if throughput_seconds else None
-        ),
-        "figures": timings,
-    }
-    if hot_loop is not None:
-        bench["hot_loop"] = hot_loop
-    bench_path = os.path.join(RESULTS_DIR, "BENCH_experiments.json")
-    with open(bench_path, "w") as handle:
-        json.dump(bench, handle, indent=2)
-        handle.write("\n")
-    print(f"timing data written to {bench_path}")
+    write_bench("ok", hot_loop)
+    checkpoint.clear()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -14,13 +14,31 @@ from repro.analysis.experiments import (
     simulate,
 )
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import RunRequest, Runner, RunnerStats
+from repro.analysis.resilience import (
+    FailureRecord,
+    ResilienceConfig,
+    RunOutcome,
+    SweepFailure,
+)
+from repro.analysis.runner import (
+    CacheIntegrityWarning,
+    RunRequest,
+    Runner,
+    RunnerStats,
+    verify_cache,
+)
 
 __all__ = [
     "DEFAULT_SAMPLING",
+    "CacheIntegrityWarning",
+    "FailureRecord",
+    "ResilienceConfig",
+    "RunOutcome",
     "RunRequest",
     "Runner",
     "RunnerStats",
+    "SweepFailure",
+    "verify_cache",
     "resolve_sampling",
     "ExperimentResult",
     "run_breakdown_table3",

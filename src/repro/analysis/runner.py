@@ -29,6 +29,18 @@ cache — pass through the same JSON round-trip
 (:func:`result_to_dict` / :func:`result_from_dict`), which is lossless
 (Python's JSON float serialization round-trips exactly), making
 bit-identical reports a structural property rather than an aspiration.
+
+Execution is fault tolerant (:mod:`repro.analysis.resilience`): runs
+carry wall-clock timeouts, transient failures retry with seeded
+backoff, a broken process pool restarts (degrading to serial execution
+if it keeps breaking), and every request ends in a structured
+:class:`~repro.analysis.resilience.RunOutcome` rather than an aborted
+sweep.  The on-disk cache is crash safe: entries are written atomically
+(temp file + rename), carry a content checksum, and a corrupt entry is
+quarantined with a :class:`CacheIntegrityWarning` — never silently
+swallowed — then recomputed.  Results persist the moment each run
+completes, so a sweep killed at any point resumes from every finished
+simulation.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -37,10 +49,17 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 
 import repro
+from repro.analysis.resilience import (
+    ResilienceConfig,
+    ResilientExecutor,
+    RunOutcome,
+    SweepFailure,
+)
+from repro.verify import faultinject
 from repro.core.fetch import FetchPolicy
 from repro.core.metrics import RunResult
 from repro.core.params import SMTConfig
@@ -54,7 +73,102 @@ from repro.tracegen.serialize import TraceCache
 from repro.workloads.mediabench import build_workload_traces
 
 #: Bumped when the result serialization format changes incompatibly.
-RESULT_FORMAT = 1
+#: 2: entries gained the checksum envelope of :func:`write_checked_json`.
+RESULT_FORMAT = 2
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry failed its integrity check and was quarantined.
+
+    Corrupt entries (torn writes from a killed process, bit rot, disk
+    faults) are renamed to ``<entry>.corrupt`` — kept for forensics,
+    never loaded — and the result is recomputed.  The count lands in
+    ``RunnerStats.corrupt_quarantined`` and the sweep provenance.
+    """
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload) -> str:
+    """Content checksum over the canonical JSON form of ``payload``."""
+    return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()[:16]
+
+
+def write_checked_json(path: str, payload) -> None:
+    """Atomically persist ``{"checksum": ..., "payload": ...}``.
+
+    Temp-file-plus-rename keeps readers (and a later resume) from ever
+    observing a torn entry; the checksum lets them detect every other
+    corruption mode.
+    """
+    record = {"checksum": _checksum(payload), "payload": payload}
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(record, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def read_checked_json(path: str):
+    """Load a checksummed entry: ``(payload, status)``.
+
+    ``status`` is ``"ok"``, ``"missing"``, ``"legacy"`` (readable JSON
+    without our envelope — a pre-checksum cache format, stale but not
+    corrupt) or ``"corrupt"`` (unparseable, or checksum mismatch);
+    ``payload`` is ``None`` unless ``"ok"``.
+    """
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except FileNotFoundError:
+        return None, "missing"
+    except (OSError, ValueError):
+        return None, "corrupt"
+    if (
+        not isinstance(record, dict)
+        or set(record) != {"checksum", "payload"}
+    ):
+        return None, "legacy"
+    if _checksum(record["payload"]) != record["checksum"]:
+        return None, "corrupt"
+    return record["payload"], "ok"
+
+
+def verify_cache(cache_dir: str) -> dict:
+    """Integrity-scan every entry of a result-cache directory.
+
+    Returns ``{"ok": count, "corrupt": [paths], "legacy": [paths],
+    "quarantined": [paths]}`` — ``quarantined`` lists ``.corrupt``
+    files left by earlier quarantines.  Used by tests and the
+    chaos-smoke harness to assert a cache holds no torn entries.
+    """
+    ok, corrupt, legacy, quarantined = 0, [], [], []
+    for name in sorted(os.listdir(cache_dir)):
+        path = os.path.join(cache_dir, name)
+        if name.endswith(".corrupt"):
+            quarantined.append(path)
+            continue
+        if not name.endswith(".json"):
+            continue
+        __, status = read_checked_json(path)
+        if status == "ok":
+            ok += 1
+        elif status == "corrupt":
+            corrupt.append(path)
+        elif status == "legacy":
+            legacy.append(path)
+    return {
+        "ok": ok,
+        "corrupt": corrupt,
+        "legacy": legacy,
+        "quarantined": quarantined,
+    }
 
 #: Subpackages whose source determines simulation results.  The analysis
 #: layer (drivers, reporting) is deliberately excluded: rewording a
@@ -233,16 +347,21 @@ def execute_request(
 def _pool_execute(args: tuple) -> dict:
     """Worker-process entry point: simulate and return timed plain data.
 
-    The per-run wall time is persisted with the cached result so a
-    later fully-cached sweep can still report the throughput of the
+    ``args`` is ``(request, trace_dir, attempt, fingerprint)`` — the
+    attempt number and fingerprint feed the deterministic fault
+    injection hook (a no-op unless a plan is installed).  The per-run
+    wall time is persisted with the cached result so a later
+    fully-cached sweep can still report the throughput of the
     simulations that produced its numbers.
     """
-    request, trace_dir = args
+    request, trace_dir, attempt, fingerprint = args
+    faultinject.fire_execution_fault(fingerprint, attempt)
     started = time.perf_counter()
     result = execute_request(request, trace_dir)
     return {
         "elapsed": time.perf_counter() - started,
         "result": result_to_dict(result),
+        "attempt": attempt,
     }
 
 
@@ -281,6 +400,14 @@ class RunnerStats:
     cached_sim_seconds: float = 0.0
     cached_instructions: int = 0
     artifact_hits: int = 0     # derived artifacts served from cache
+    # Resilience provenance: what it took to get the results above.
+    retries: int = 0               # attempts re-scheduled after a failure
+    timeouts: int = 0              # runs killed for exceeding the deadline
+    pool_breaks: int = 0           # process-pool restarts after worker death
+    degraded: int = 0              # batches that fell back to serial execution
+    failed_points: int = 0         # requests that failed permanently
+    corrupt_quarantined: int = 0   # cache entries quarantined as corrupt
+    cache_write_errors: int = 0    # results that could not be persisted
 
     def snapshot(self) -> dict:
         return asdict(self)
@@ -308,6 +435,10 @@ class Runner:
     version:
         Override for the code-version component of fingerprints (tests
         use this to exercise invalidation without editing source files).
+    resilience:
+        The :class:`~repro.analysis.resilience.ResilienceConfig`
+        governing timeouts, retries and failure policy for cache-missing
+        runs (default: no timeout, 4 attempts, salvage mode).
     """
 
     def __init__(
@@ -315,11 +446,16 @@ class Runner:
         jobs: int = 1,
         cache_dir: str | None = None,
         version: str | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
         self.version = version
+        self.resilience = resilience or ResilienceConfig()
         self.stats = RunnerStats()
+        #: Per-request execution bookkeeping (status, attempts, failure
+        #: records) for every request this runner had to execute.
+        self.outcomes: dict[RunRequest, RunOutcome] = {}
         self._memo: dict[RunRequest, RunResult] = {}
         self._artifacts: dict[tuple, object] = {}
         if cache_dir:
@@ -342,17 +478,34 @@ class Runner:
             self.cache_dir, request.fingerprint(self.version) + ".json"
         )
 
+    def _quarantine(self, path: str, what: str) -> None:
+        """Move a corrupt cache entry aside, loudly, and count it."""
+        quarantined = f"{path}.corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = "(could not be moved)"
+        self.stats.corrupt_quarantined += 1
+        warnings.warn(
+            CacheIntegrityWarning(
+                f"corrupt {what} entry {path}: parse/checksum failure; "
+                f"quarantined to {quarantined}, recomputing"
+            ),
+            stacklevel=3,
+        )
+
     def _cache_load(
         self, request: RunRequest
     ) -> tuple[RunResult, float] | None:
         """Load a cached result and the wall time that produced it."""
         path = self._cache_path(request)
-        if path is None or not os.path.exists(path):
+        if path is None:
             return None
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+        payload, status = read_checked_json(path)
+        if status == "corrupt":
+            self._quarantine(path, "result-cache")
+            return None
+        if payload is None:  # missing, or a stale pre-checksum format
             return None
         if payload.get("result_format") != RESULT_FORMAT:
             return None
@@ -362,11 +515,16 @@ class Runner:
         )
 
     def _cache_store(
-        self, request: RunRequest, result: RunResult, elapsed: float
+        self,
+        request: RunRequest,
+        result: RunResult,
+        elapsed: float,
+        attempt: int = 0,
     ) -> None:
-        path = self._cache_path(request)
-        if path is None:
+        if not self.cache_dir:
             return
+        fingerprint = request.fingerprint(self.version)
+        path = os.path.join(self.cache_dir, f"{fingerprint}.json")
         payload = {
             "result_format": RESULT_FORMAT,
             "code_version": self.version or code_version(),
@@ -375,10 +533,20 @@ class Runner:
             "sim_seconds": elapsed,
             "saved_at": time.time(),
         }
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
+        try:
+            write_checked_json(path, payload)
+        except OSError as exc:
+            # The result is already memoized; losing persistence costs a
+            # recompute next session, not this sweep's correctness.
+            self.stats.cache_write_errors += 1
+            warnings.warn(
+                CacheIntegrityWarning(
+                    f"could not persist result-cache entry {path}: {exc}"
+                ),
+                stacklevel=2,
+            )
+            return
+        faultinject.corrupt_cache_entry(path, fingerprint, attempt)
 
     # ----- execution --------------------------------------------------------
 
@@ -393,6 +561,14 @@ class Runner:
 
         Returns a mapping from each distinct request to its result;
         duplicate requests in the batch map to the single shared result.
+
+        Execution goes through the resilience layer: results are
+        memoized and persisted the moment each run completes (a killed
+        sweep resumes from every finished point), transient failures
+        retry per ``self.resilience``, and if any request still fails
+        permanently a :class:`~repro.analysis.resilience.SweepFailure`
+        is raised *after* every completable run has been salvaged and
+        cached.
         """
         self.stats.requested += len(requests)
         unique: list[RunRequest] = []
@@ -421,25 +597,15 @@ class Runner:
         if todo:
             started = time.perf_counter()
             trace_dir = self.trace_dir
-            if self.jobs > 1 and len(todo) > 1:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(todo))
-                ) as pool:
-                    payloads = list(
-                        pool.map(
-                            _pool_execute,
-                            [(request, trace_dir) for request in todo],
-                        )
-                    )
-            else:
-                payloads = [
-                    _pool_execute((request, trace_dir)) for request in todo
-                ]
-            self.stats.sim_seconds += time.perf_counter() - started
-            for request, payload in zip(todo, payloads):
+            version = self.version
+
+            def on_success(request: RunRequest, payload: dict) -> None:
                 # Every result passes through the same round-trip the
                 # disk cache uses, so cold/warm and serial/parallel runs
-                # are bit-identical by construction.
+                # are bit-identical by construction.  Called as soon as
+                # the run completes: the cache entry lands before any
+                # other run finishes, which is what makes a SIGKILLed
+                # sweep resumable from every completed point.
                 result = result_from_dict(
                     json.loads(json.dumps(payload["result"]))
                 )
@@ -447,7 +613,28 @@ class Runner:
                 self.stats.sim_instructions += _instructions_of(result)
                 self.stats.sim_cycles += result.cycles
                 self._memo[request] = result
-                self._cache_store(request, result, payload["elapsed"])
+                self._cache_store(
+                    request, result, payload["elapsed"],
+                    payload.get("attempt", 0),
+                )
+
+            executor = ResilientExecutor(
+                self.resilience,
+                self.jobs,
+                _pool_execute,
+                fingerprint_of=lambda request: request.fingerprint(version),
+            )
+            outcomes = executor.execute(todo, trace_dir, on_success)
+            self.stats.sim_seconds += time.perf_counter() - started
+            self.stats.retries += executor.retries
+            self.stats.timeouts += executor.timeouts
+            self.stats.pool_breaks += executor.pool_breaks
+            self.stats.degraded += executor.degraded
+            self.stats.failed_points += executor.failed
+            for outcome in outcomes:
+                self.outcomes[outcome.request] = outcome
+            if executor.failed or executor.aborted:
+                raise SweepFailure(outcomes, total=len(todo))
 
         return {request: self._memo[request] for request in unique}
 
@@ -483,22 +670,27 @@ class Runner:
             else None
         )
         if path is not None and os.path.exists(path):
-            try:
-                with open(path) as handle:
-                    value = json.load(handle)["value"]
-            except (OSError, ValueError, KeyError):
-                value = None
-            if value is not None:
+            payload, status = read_checked_json(path)
+            if status == "corrupt":
+                self._quarantine(path, "artifact-cache")
+            elif status == "ok" and "value" in payload:
                 self.stats.artifact_hits += 1
-                self._artifacts[memo_key] = value
-                return value
+                self._artifacts[memo_key] = payload["value"]
+                return payload["value"]
+            # "legacy" (pre-checksum format): recompute and re-persist.
         value = json.loads(json.dumps(compute()))
         self._artifacts[memo_key] = value
         if path is not None:
-            tmp_path = f"{path}.tmp.{os.getpid()}"
-            with open(tmp_path, "w") as handle:
-                json.dump({"key": key, "value": value}, handle)
-            os.replace(tmp_path, path)
+            try:
+                write_checked_json(path, {"key": key, "value": value})
+            except OSError as exc:
+                self.stats.cache_write_errors += 1
+                warnings.warn(
+                    CacheIntegrityWarning(
+                        f"could not persist artifact-cache entry {path}: {exc}"
+                    ),
+                    stacklevel=2,
+                )
         return value
 
     # ----- trace access -----------------------------------------------------

@@ -21,6 +21,7 @@ parameters.
 from __future__ import annotations
 
 import os
+import warnings
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -146,9 +147,20 @@ class TraceCache:
         if trace is not None:
             return trace
         path = self._path(name, isa, scale, seed)
+        trace = None
         if os.path.exists(path):
-            trace = load_trace(path)
-        else:
+            try:
+                trace = load_trace(path)
+            except (OSError, ValueError, IndexError) as exc:
+                # A corrupt cached trace (bit rot, external truncation —
+                # writes themselves are atomic) must not kill the sweep:
+                # generation is deterministic, so self-heal by
+                # regenerating and rewriting, loudly.
+                warnings.warn(
+                    f"corrupt cached trace {path} ({exc}); regenerating",
+                    stacklevel=2,
+                )
+        if trace is None:
             trace = build_program_trace(name, isa, scale=scale, seed=seed)
             save_trace(trace, path)
         if len(self._memo) >= self.memo_limit:

@@ -12,7 +12,10 @@ Static checkers (pure functions returning
 Runtime layer:
 
 * :mod:`repro.verify.sanitizer` — opt-in invariant checks wired into the
-  core and memory models via ``SMTConfig(sanitize=True)``.
+  core and memory models via ``SMTConfig(sanitize=True)``;
+* :mod:`repro.verify.faultinject` — deterministic seeded fault injection
+  (worker hangs, crashes, cache corruption) for exercising the
+  resilience layer of :mod:`repro.analysis.runner` in tests and CI.
 
 ``scripts/verify_tool.py`` runs all static checks over the examples,
 the kernel library and the trace generator; see ``docs/VERIFY.md``.
@@ -20,16 +23,19 @@ the kernel library and the trace generator; see ``docs/VERIFY.md``.
 
 from repro.verify.asmcheck import lint_program, lint_source
 from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.faultinject import FaultPlan, SimulatedWorkerCrash
 from repro.verify.isacheck import check_isa
 from repro.verify.sanitizer import InvariantViolation, RuntimeSanitizer
 from repro.verify.tracecheck import check_trace
 
 __all__ = [
     "Diagnostic",
+    "FaultPlan",
     "InvariantViolation",
     "Report",
     "RuntimeSanitizer",
     "Severity",
+    "SimulatedWorkerCrash",
     "check_isa",
     "check_trace",
     "lint_program",

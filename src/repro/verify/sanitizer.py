@@ -51,6 +51,18 @@ class InvariantViolation(AssertionError):
         self.message = message
         self.details = details or {}
 
+    def __reduce__(self):
+        # The default BaseException reduction pickles only ``args`` (the
+        # formatted message) and reconstructs via ``cls(*args)`` — which
+        # for this signature is a TypeError at unpickle time.  A worker
+        # process raising a violation would then surface in the parent
+        # as a bare pickling error with the structured payload lost;
+        # rebuild from the real fields instead.
+        return (
+            self.__class__,
+            (self.component, self.code, self.message, self.details),
+        )
+
 
 class RuntimeSanitizer:
     """Invariant checker shared by every hooked component of one core."""

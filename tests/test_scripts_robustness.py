@@ -1,0 +1,147 @@
+"""Robustness of the experiment scripts: guard rails, checkpoint, flags."""
+
+import os
+import sys
+
+import pytest
+
+SCRIPTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "scripts"
+)
+sys.path.insert(0, SCRIPTS_DIR)
+
+import check_hotloop  # noqa: E402
+import run_experiments  # noqa: E402
+from run_experiments import SweepCheckpoint  # noqa: E402
+
+
+class TestCheckHotloopGuards:
+    """A broken baseline must produce an actionable message, not a traceback."""
+
+    def run_main(self, monkeypatch, capsys, baseline_path):
+        monkeypatch.setattr(
+            check_hotloop, "HOTLOOP_BASELINE", str(baseline_path)
+        )
+        status = check_hotloop.main([])
+        return status, capsys.readouterr().out
+
+    def test_missing_baseline(self, tmp_path, monkeypatch, capsys):
+        status, out = self.run_main(
+            monkeypatch, capsys, tmp_path / "nowhere.json"
+        )
+        assert status == 2
+        assert "no hot-loop baseline" in out
+        assert "git checkout" in out  # tells the user how to fix it
+
+    def test_unparseable_baseline(self, tmp_path, monkeypatch, capsys):
+        baseline = tmp_path / "hotloop_baseline.json"
+        baseline.write_text("{not json at all")
+        status, out = self.run_main(monkeypatch, capsys, baseline)
+        assert status == 2
+        assert "unreadable or malformed" in out
+        assert "re-record" in out
+
+    def test_wrong_shape_baseline(self, tmp_path, monkeypatch, capsys):
+        baseline = tmp_path / "hotloop_baseline.json"
+        baseline.write_text('["a", "list"]')
+        status, out = self.run_main(monkeypatch, capsys, baseline)
+        assert status == 2
+        assert "unreadable or malformed" in out
+
+    def test_missing_required_field(self, tmp_path, monkeypatch, capsys):
+        baseline = tmp_path / "hotloop_baseline.json"
+        baseline.write_text('{"config": {}, "before_seconds": 1.0}')
+        status, out = self.run_main(monkeypatch, capsys, baseline)
+        assert status == 2
+        assert "calibration_seconds" in out
+
+    def test_unarmed_baseline_names_the_remedy(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        baseline = tmp_path / "hotloop_baseline.json"
+        baseline.write_text(
+            '{"config": {}, "before_seconds": 1.0, '
+            '"calibration_seconds": 0.1}'
+        )
+        status, out = self.run_main(monkeypatch, capsys, baseline)
+        assert status == 2
+        assert "optimized_speedup" in out
+
+
+class TestMeasureHotLoopGuard:
+    def test_malformed_baseline_returns_none_with_warning(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        baseline = tmp_path / "hotloop_baseline.json"
+        baseline.write_text("{torn")
+        monkeypatch.setattr(
+            run_experiments, "HOTLOOP_BASELINE", str(baseline)
+        )
+        assert run_experiments.measure_hot_loop(runner=None) is None
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_missing_baseline_is_silent_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            run_experiments, "HOTLOOP_BASELINE", str(tmp_path / "none.json")
+        )
+        assert run_experiments.measure_hot_loop(runner=None) is None
+
+
+class TestSweepCheckpoint:
+    KEY = {"scale": "1e-05", "sampling": None, "code_version": "v1"}
+
+    def test_fresh_checkpoint_resumes_nothing(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), self.KEY)
+        assert checkpoint.resumed_from == []
+
+    def test_marks_survive_and_resume(self, tmp_path):
+        first = SweepCheckpoint(str(tmp_path), self.KEY)
+        first.mark("figure5")
+        first.mark("figure6")
+        resumed = SweepCheckpoint(str(tmp_path), self.KEY)
+        assert resumed.resumed_from == ["figure5", "figure6"]
+
+    def test_key_mismatch_invalidates(self, tmp_path):
+        SweepCheckpoint(str(tmp_path), self.KEY).mark("figure5")
+        other = dict(self.KEY, code_version="v2")
+        assert SweepCheckpoint(str(tmp_path), other).resumed_from == []
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        SweepCheckpoint(str(tmp_path), self.KEY).mark("figure5")
+        with open(tmp_path / "sweep-checkpoint.json", "w") as handle:
+            handle.write("{torn")
+        assert SweepCheckpoint(str(tmp_path), self.KEY).resumed_from == []
+
+    def test_clear_removes_the_file(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), self.KEY)
+        checkpoint.mark("figure5")
+        checkpoint.clear()
+        assert not os.path.exists(tmp_path / "sweep-checkpoint.json")
+        assert SweepCheckpoint(str(tmp_path), self.KEY).resumed_from == []
+
+    def test_no_cache_dir_disables_persistence(self):
+        checkpoint = SweepCheckpoint(None, self.KEY)
+        checkpoint.mark("figure5")  # must not raise
+        checkpoint.clear()
+
+
+class TestFlagValidation:
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_experiments.parse_args(["--retries", "-1"])
+
+    def test_zero_max_failures_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_experiments.parse_args(["--max-failures", "0"])
+
+    def test_resilience_flags_parse(self):
+        args = run_experiments.parse_args(
+            [
+                "--timeout", "30", "--retries", "2",
+                "--max-failures", "3", "--fail-fast",
+            ]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.max_failures == 3
+        assert args.fail_fast
