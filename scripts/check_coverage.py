@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Coverage gate: the observability layer stays >= 90 % line-covered.
+
+Runs the tier-1 suite under ``coverage.py`` and enforces two floors:
+
+* ``src/repro/obs/`` — 90 %.  The observability layer is pure
+  measurement code: a hook nobody exercises is a hook that silently
+  breaks, so its floor is set at the package's actual test saturation.
+* the whole ``src/repro`` tree — a conservative ratchet floor.  Raise
+  it (never lower it) as coverage improves; a PR that drops repo-wide
+  coverage below the ratchet fails here rather than eroding quietly.
+
+When ``coverage.py`` is not importable the gate SKIPS with exit 0 and a
+notice: the simulation container deliberately ships no third-party
+measurement dependencies (see docs/TESTING.md).  CI installs coverage
+explicitly, so the gate is always enforced where it matters, and the
+HTML report (``--html``) is uploaded as a build artifact there.
+
+Usage:
+    PYTHONPATH=src python scripts/check_coverage.py
+        [--obs-floor 90] [--total-floor 75] [--html htmlcov]
+        [--reuse-data]   # gate an existing .coverage file without rerunning
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OBS_PREFIX = os.path.join("src", "repro", "obs") + os.sep
+JSON_PATH = os.path.join(REPO_ROOT, "results", "coverage.json")
+
+
+def coverage_available() -> bool:
+    try:
+        import coverage  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run(command: list[str]) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path
+        for path in (
+            os.path.join(REPO_ROOT, "src"),
+            os.environ.get("PYTHONPATH"),
+        )
+        if path
+    )
+    return subprocess.run(command, cwd=REPO_ROOT, env=env).returncode
+
+
+def aggregate(files: dict, predicate) -> tuple[int, int]:
+    """(covered, statements) over report files matching ``predicate``."""
+    covered = statements = 0
+    for path, entry in files.items():
+        if predicate(path.replace("/", os.sep)):
+            covered += entry["summary"]["covered_lines"]
+            statements += entry["summary"]["num_statements"]
+    return covered, statements
+
+
+def percent(covered: int, statements: int) -> float:
+    return 100.0 * covered / statements if statements else 100.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--obs-floor", type=float, default=90.0)
+    parser.add_argument(
+        "--total-floor", type=float, default=75.0,
+        help="repo-wide ratchet floor; raise as coverage improves",
+    )
+    parser.add_argument(
+        "--html", default=None, metavar="DIR",
+        help="also write an HTML report (CI uploads it as an artifact)",
+    )
+    parser.add_argument(
+        "--reuse-data", action="store_true",
+        help="gate an existing .coverage file instead of rerunning pytest",
+    )
+    args = parser.parse_args(argv)
+
+    if not coverage_available():
+        print(
+            "coverage gate SKIPPED: coverage.py is not installed in this "
+            "environment (the simulation container ships none; CI "
+            "installs it — see docs/TESTING.md)."
+        )
+        return 0
+
+    if not args.reuse_data:
+        status = run(
+            [
+                sys.executable, "-m", "coverage", "run",
+                "--source", "src/repro",
+                "-m", "pytest", "-x", "-q",
+            ]
+        )
+        if status != 0:
+            print(f"coverage gate FAILED: pytest exited {status}")
+            return 1
+
+    os.makedirs(os.path.dirname(JSON_PATH), exist_ok=True)
+    if run(
+        [sys.executable, "-m", "coverage", "json", "-q", "-o", JSON_PATH]
+    ) != 0:
+        print("coverage gate FAILED: could not export coverage.json")
+        return 1
+    if args.html and run(
+        [sys.executable, "-m", "coverage", "html", "-q", "-d", args.html]
+    ) != 0:
+        print("coverage gate FAILED: could not write the HTML report")
+        return 1
+
+    with open(JSON_PATH) as handle:
+        report = json.load(handle)
+    files = report["files"]
+    obs = percent(*aggregate(files, lambda p: OBS_PREFIX in p))
+    total = percent(*aggregate(files, lambda p: True))
+
+    print(f"src/repro/obs/  {obs:6.2f}%  (floor {args.obs_floor:.0f}%)")
+    print(f"src/repro       {total:6.2f}%  (floor {args.total_floor:.0f}%)")
+    if args.html:
+        print(f"HTML report in {args.html}/")
+
+    failures = []
+    if obs < args.obs_floor:
+        failures.append(
+            f"observability coverage {obs:.2f}% is below the "
+            f"{args.obs_floor:.0f}% floor"
+        )
+    if total < args.total_floor:
+        failures.append(
+            f"repo-wide coverage {total:.2f}% regressed below the "
+            f"{args.total_floor:.0f}% ratchet floor"
+        )
+    if failures:
+        for failure in failures:
+            print(f"coverage gate FAILED: {failure}")
+        return 1
+    print("coverage gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

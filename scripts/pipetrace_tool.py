@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Pipeline-trace tooling: record an observed run, export, inspect.
+
+Runs one simulation point with full observability and renders the
+per-instruction pipeline event stream:
+
+* ``chrome`` — Trace Event ("JSON Object Format") output, loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev (one process per
+  hardware context, one track per instruction, memory events as global
+  instants);
+* ``ascii`` — Konata-style text diagram (``F``etch ``D``ispatch
+  ``I``ssue e``X``ecute-complete ``C``ommit), which round-trips through
+  ``repro.obs.trace.parse_ascii``;
+* ``summary`` — metrics tree + per-thread stall-cause breakdown only.
+
+Usage:
+    python scripts/pipetrace_tool.py run [--isa mom] [--threads 8]
+        [--memory conventional] [--policy rr] [--scale 2e-5]
+        [--completions 1] [--format chrome|ascii|summary]
+        [--first N] [--output PATH]
+    python scripts/pipetrace_tool.py check TRACE.json
+
+``check`` validates an existing Chrome-trace JSON file against the
+trace-event schema subset this tool emits (exit 1 on violation).
+
+Observed runs never touch the result cache: observability changes no
+simulated outcome (``tests/test_obs_bitident.py`` proves it), but cache
+entries must stay byte-stable for unobserved sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.runner import memory_factory, workload_traces
+from repro.core.fetch import FetchPolicy
+from repro.core.params import SMTConfig
+from repro.core.smt import SMTProcessor
+from repro.obs import (
+    PipelineObserver,
+    chrome_trace,
+    render_ascii,
+    validate_chrome_trace,
+    validate_records,
+)
+
+
+def record_run(
+    isa: str = "mom",
+    n_threads: int = 8,
+    memory: str = "conventional",
+    policy: str = "rr",
+    scale: float = 2e-5,
+    completions: int = 1,
+) -> tuple[PipelineObserver, object]:
+    """Simulate one observed point; returns (observer, RunResult)."""
+    observer = PipelineObserver()
+    traces = workload_traces(isa, scale, 0)
+    processor = SMTProcessor(
+        SMTConfig(isa=isa, n_threads=n_threads, observe=observer),
+        memory_factory(memory)(),
+        traces,
+        fetch_policy=FetchPolicy(policy),
+        completions_target=completions,
+        warmup_fraction=0.0,
+    )
+    result = processor.run()
+    return observer, result
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    observer, result = record_run(
+        args.isa, args.threads, args.memory, args.policy, args.scale,
+        args.completions,
+    )
+    validate_records(observer.records)
+    records = observer.records
+    mem_events = observer.mem_events
+    if args.first:
+        records = records[: args.first]
+        horizon = records[-1].commit or records[-1].fetch if records else 0
+        mem_events = [e for e in mem_events if e[0] <= horizon]
+    if args.format == "chrome":
+        document = chrome_trace(
+            records, mem_events,
+            label=f"{args.isa}/{args.threads}T/{args.memory}/{args.policy}",
+        )
+        validate_chrome_trace(document)
+        payload = json.dumps(document, indent=1)
+    elif args.format == "ascii":
+        payload = render_ascii(records)
+    else:
+        payload = json.dumps(
+            {
+                "run": result.summary(),
+                "observability": result.observability,
+                "stall_breakdown": observer.stall_breakdown(),
+            },
+            indent=2,
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(
+            f"wrote {len(records)} instruction records "
+            f"({len(mem_events)} memory events) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        with open(args.trace) as handle:
+            document = json.load(handle)
+        count = validate_chrome_trace(document)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: {count} events, schema OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate and export a trace")
+    run.add_argument("--isa", default="mom", choices=["mmx", "mom"])
+    run.add_argument("--threads", type=int, default=8)
+    run.add_argument(
+        "--memory", default="conventional",
+        choices=["perfect", "conventional", "decoupled"],
+    )
+    run.add_argument("--policy", default="rr")
+    run.add_argument("--scale", type=float, default=2e-5)
+    run.add_argument("--completions", type=int, default=1)
+    run.add_argument(
+        "--format", default="chrome", choices=["chrome", "ascii", "summary"]
+    )
+    run.add_argument(
+        "--first", type=int, default=0,
+        help="keep only the first N instruction records",
+    )
+    run.add_argument("--output", default=None)
+    run.set_defaults(func=_cmd_run)
+
+    check = commands.add_parser("check", help="validate a Chrome-trace file")
+    check.add_argument("trace")
+    check.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ from repro.analysis import (
     run_fig6_fetch,
     run_fig8_decoupled,
     run_fig9_summary,
+    run_stall_breakdown,
     run_table4_cache,
 )
 from repro.analysis.runner import (
@@ -62,6 +63,7 @@ from repro.analysis.runner import (
     read_checked_json,
     write_checked_json,
 )
+from repro.obs import PhaseProfiler
 
 #: Default fidelity: 1e-4 = one trace instruction per 10k paper instructions.
 DEFAULT_SCALE = 1e-4
@@ -389,11 +391,14 @@ def main(argv=None) -> int:
          f"sampling={'off' if not sampling else sampling})\n")
     start = time.time()
     timings: dict[str, dict] = {}
+    profiler = PhaseProfiler()
+    stall_breakdown: dict | None = None
 
     def timed(name, fn, **kwargs):
         before = runner.stats.snapshot()
         t0 = time.time()
-        result = fn(scale=scale, runner=runner, **kwargs)
+        with profiler.phase(name):
+            result = fn(scale=scale, runner=runner, **kwargs)
         timings[name] = {
             "wall_seconds": time.time() - t0,
             **runner.stats.delta_since(before),
@@ -441,6 +446,11 @@ def main(argv=None) -> int:
         }
         if hot_loop is not None:
             bench["hot_loop"] = hot_loop
+        if stall_breakdown is not None:
+            bench["stall_breakdown"] = stall_breakdown
+        # Wall-clock phase tree (repro.obs.PhaseProfiler): volatile by
+        # construction, never part of report comparisons.
+        bench["profile"] = profiler.to_dict()
         os.makedirs(RESULTS_DIR, exist_ok=True)
         bench_path = os.path.join(RESULTS_DIR, "BENCH_experiments.json")
         with open(bench_path, "w") as handle:
@@ -456,6 +466,9 @@ def main(argv=None) -> int:
         fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
         timed("fig8", run_fig8_decoupled, sampling=sampling)
         timed("fig9", run_fig9_summary, sampling=sampling)
+        # Observed companion runs (full detail, artifact-cached): where
+        # the fetch/dispatch slots went at the headline 8T point.
+        stall_breakdown = timed("stalls", run_stall_breakdown).measured
     except SweepFailure as failure:
         # Completed points are cached; the checkpoint stays so a rerun
         # resumes instead of restarting.
@@ -478,7 +491,11 @@ def main(argv=None) -> int:
             f"(paper: {'1%' if isa == 'mmx' else '4%'})"
         )
 
-    hot_loop = None if args.no_hotloop else measure_hot_loop(runner)
+    if args.no_hotloop:
+        hot_loop = None
+    else:
+        with profiler.phase("hot_loop"):
+            hot_loop = measure_hot_loop(runner)
     if hot_loop is not None and hot_loop.get("speedup"):
         emit(
             f"\nhot loop (mom/8T/conventional/rr @1e-4): "

@@ -10,8 +10,15 @@ from repro.analysis.experiments import (
     run_fig6_fetch,
     run_fig8_decoupled,
     run_fig9_summary,
+    run_stall_breakdown,
     run_table4_cache,
     simulate,
+)
+from repro.analysis.goldens import (
+    GOLDEN_SCALE,
+    build_golden_document,
+    check_experiment,
+    compute_golden_metrics,
 )
 from repro.analysis.reporting import format_table
 from repro.analysis.resilience import (
@@ -47,7 +54,12 @@ __all__ = [
     "run_fig6_fetch",
     "run_fig8_decoupled",
     "run_fig9_summary",
+    "run_stall_breakdown",
     "run_table4_cache",
     "simulate",
     "format_table",
+    "GOLDEN_SCALE",
+    "build_golden_document",
+    "check_experiment",
+    "compute_golden_metrics",
 ]

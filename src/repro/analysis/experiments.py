@@ -472,6 +472,108 @@ def run_fig8_decoupled(
     return result
 
 
+# ----------------------------------------------------- stall-cause breakdown
+
+def run_stall_breakdown(
+    scale: float = DEFAULT_SCALE,
+    n_threads: int = 8,
+    runner: Runner | None = None,
+) -> ExperimentResult:
+    """Per-thread stall-cause attribution at the headline 8-thread point.
+
+    Re-runs the figure 5 round-robin configuration once per ISA with the
+    metrics-only observer (:mod:`repro.obs`) attached and breaks fetch
+    and dispatch stalls down by cause and hardware context — the "where
+    did the slots go" companion to the EIPC tables.  Observability never
+    perturbs timing (``tests/test_obs_bitident.py`` proves bit-identity)
+    but observed results deliberately bypass the run cache, so the
+    companion runs are served through the runner's derived-artifact
+    cache instead: one execution per code version, and cached
+    re-invocations format byte-identical tables (the chaos harness
+    compares reports across fault-injected reruns).
+
+    Always runs full detail regardless of sweep sampling: SMARTS
+    fast-forward emits no observer events, so a sampled breakdown would
+    cover the measurement windows only while claiming whole-run totals.
+    """
+    runner = runner or Runner()
+
+    def compute() -> dict:
+        from repro.core.params import SMTConfig
+        from repro.core.smt import SMTProcessor
+        from repro.obs import PipelineObserver
+
+        from repro.analysis.runner import memory_factory
+
+        breakdown = {}
+        for isa in ISAS:
+            observer = PipelineObserver(events=False)
+            processor = SMTProcessor(
+                SMTConfig(isa=isa, n_threads=n_threads, observe=observer),
+                memory_factory("conventional")(),
+                runner.workload(isa, scale, 0),
+                fetch_policy=FetchPolicy.RR,
+            )
+            result = processor.run()
+            breakdown[isa] = {
+                "cycles": result.cycles,
+                "eipc": result.eipc,
+                "stalls": observer.stall_breakdown(),
+            }
+        return breakdown
+
+    measured = runner.artifact(
+        "stall_breakdown",
+        {
+            "scale": repr(float(scale)),
+            "n_threads": int(n_threads),
+            "seed": 0,
+            "config": "conventional/rr",
+        },
+        compute,
+    )
+    report_blocks = []
+    for isa in ISAS:
+        stalls = measured[isa]["stalls"]
+        grand_total = sum(row["total"] for row in stalls.values()) or 1
+        rows = []
+        for cause, row in sorted(
+            stalls.items(), key=lambda item: -item[1]["total"]
+        ):
+            # Per-thread counters grow lazily to the highest context
+            # that stalled; pad so every cause spans all columns.
+            per_thread = list(row["per_thread"])
+            per_thread += [0] * (n_threads - len(per_thread))
+            rows.append(
+                [
+                    cause,
+                    row["total"],
+                    f"{row['total'] / grand_total:.1%}",
+                    *per_thread,
+                ]
+            )
+        report_blocks.append(
+            format_table(
+                ["cause", "total", "share"]
+                + [f"t{t}" for t in range(n_threads)],
+                rows,
+                title=(
+                    f"{isa.upper()} stall causes @{n_threads}T "
+                    f"(conventional, RR; EIPC "
+                    f"{measured[isa]['eipc']:.3f})"
+                ),
+                float_fmt="{:.0f}",
+            )
+        )
+    return ExperimentResult(
+        "stalls",
+        measured,
+        {},
+        "Stall-cause breakdown — fetch/dispatch slot loss by cause "
+        "and thread\n" + "\n\n".join(report_blocks),
+    )
+
+
 # --------------------------------------------------------------------- Figure 9
 
 def run_fig9_summary(

@@ -269,8 +269,17 @@ class RunRequest:
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """Serialize a :class:`RunResult` to JSON-safe plain data."""
-    return asdict(result)
+    """Serialize a :class:`RunResult` to JSON-safe plain data.
+
+    The ``observability`` snapshot is carried only when present: an
+    unobserved run serializes without the key at all, keeping its JSON
+    byte-identical to trees that predate the observability layer (the
+    bit-identity suite pins this).
+    """
+    payload = asdict(result)
+    if payload.get("observability") is None:
+        payload.pop("observability", None)
+    return payload
 
 
 def result_from_dict(data: dict) -> RunResult:

@@ -47,6 +47,13 @@ class RunResult:
     #: ``eipc`` is the ratio-of-sums estimator; the per-window samples
     #: carry the dispersion for the confidence interval.
     samples: list | None = None
+    #: Observability snapshot (:meth:`repro.obs.events.PipelineObserver.
+    #: snapshot`) of an observed run: the metrics tree (including the
+    #: ``smt.stall`` stall-cause breakdown) plus event-stream accounting.
+    #: ``None`` for unobserved runs — and serialized *absent*, not null,
+    #: so ``observe=None`` result JSON stays byte-identical to pre-
+    #: observability trees (``tests/test_obs_bitident.py``).
+    observability: dict | None = None
 
     @property
     def ipc(self) -> float:

@@ -123,8 +123,22 @@ class SMTConfig:
     #: aggregated into a mean and 95 % confidence interval.  ``None``
     #: (the default) runs full detail end to end.
     sampling: tuple[int, int, int] | None = None
+    #: Observability (:mod:`repro.obs`): ``None`` (default) disables all
+    #: event collection — every hook is a single attribute test, the
+    #: same zero-overhead contract as ``sanitize``.  ``True`` records
+    #: the full pipeline event stream, ``"metrics"`` keeps only the
+    #: metrics registry, or pass a ready
+    #: :class:`~repro.obs.events.PipelineObserver`.
+    observe: object = None
 
     def __post_init__(self):
+        if self.observe not in (None, True, False, "metrics") and not hasattr(
+            self.observe, "on_fetch"
+        ):
+            raise ValueError(
+                "observe must be None, True, 'metrics', or a "
+                f"PipelineObserver-like object, not {self.observe!r}"
+            )
         if self.isa not in ("mmx", "mom"):
             raise ValueError(f"unknown ISA {self.isa!r}")
         if self.n_threads < 1:

@@ -20,7 +20,7 @@ class GraduationWindow:
     reference implementation used by other drivers and the tests.
     """
 
-    __slots__ = ("capacity", "occupancy", "_fifos", "sanitizer")
+    __slots__ = ("capacity", "occupancy", "_fifos", "sanitizer", "observer")
 
     def __init__(self, capacity: int, n_threads: int):
         if capacity < 1:
@@ -30,6 +30,8 @@ class GraduationWindow:
         self._fifos: list[deque] = [deque() for __ in range(n_threads)]
         #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.events.PipelineObserver`.
+        self.observer = None
 
     @property
     def has_space(self) -> bool:
@@ -58,7 +60,7 @@ class GraduationWindow:
     def thread_occupancy(self, thread: int) -> int:
         return len(self._fifos[thread])
 
-    def flush_thread(self, thread: int) -> int:
+    def flush_thread(self, thread: int, now: int = 0) -> int:
         """Per-thread flush; returns how many entries were squashed."""
         fifo = self._fifos[thread]
         squashed = len(fifo)
@@ -66,6 +68,8 @@ class GraduationWindow:
             entry.squashed = True
         if self.sanitizer is not None:
             self.sanitizer.on_window_flush(thread, fifo)
+        if self.observer is not None:
+            self.observer.on_squash(thread, list(fifo), now)
         fifo.clear()
         self.occupancy -= squashed
         return squashed

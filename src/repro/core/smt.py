@@ -300,6 +300,15 @@ class SMTProcessor:
             for queue in self.queues.values():
                 queue.sanitizer = self.sanitizer
             memory.attach_sanitizer(self.sanitizer)
+        self.observer = None
+        if config.observe is not None and config.observe is not False:
+            # Imported lazily, like the sanitizer: the core only depends
+            # on the observability layer when observation is requested.
+            from repro.obs.events import resolve_observer
+
+            self.observer = resolve_observer(config.observe)
+            self.window.observer = self.observer
+            memory.attach_observer(self.observer)
         self.pools = dict(config.resources.rename_regs)
         self.threads = [ThreadContext(i) for i in range(config.n_threads)]
         for slot, assignment in zip(
@@ -411,6 +420,7 @@ class SMTProcessor:
         window = self.window
         fifos = window._fifos
         win_sanitizer = window.sanitizer
+        observer = self.observer
         pools = self.pools
         order = self._orders[self._rotation % config.n_threads]
         win_occ = window.occupancy
@@ -435,6 +445,8 @@ class SMTProcessor:
                     stall = now + redirect
                     if stall > ctx.fetch_stall_until:
                         ctx.fetch_stall_until = stall
+                if observer is not None:
+                    observer.on_complete(entry, now)
             completed = len(entries)
 
         # ---- commit: in-order retirement from the per-thread FIFOs.
@@ -460,6 +472,8 @@ class SMTProcessor:
                     if win_sanitizer is not None:
                         window.occupancy = win_occ
                         win_sanitizer.on_window_retire(window, thread, head)
+                    if observer is not None:
+                        observer.on_commit(thread, head, now)
                     inst = head.inst
                     dst = inst.dst
                     if dst != NO_REG:
@@ -492,6 +506,8 @@ class SMTProcessor:
                 else:
                     ctx.assign(replacement.trace)
                     self.predictor.reset_thread(thread)
+                if observer is not None:
+                    observer.on_thread_assign(thread)
         self.committed = committed
         self.committed_equiv = committed_equiv
 
@@ -567,6 +583,8 @@ class SMTProcessor:
                     done = now + latency_of[op]
                 if done < floor:
                     done = floor
+                if observer is not None:
+                    observer.on_issue(entry, now, done)
                 lst = wake.get(done)
                 if lst is None:
                     wake[done] = [entry]
@@ -604,9 +622,18 @@ class SMTProcessor:
                 inst, mispredicted = decode[0]
                 queue = queue_of_op[inst.op]
                 if queue.occupancy >= queue.capacity or win_occ >= win_cap:
+                    if observer is not None:
+                        observer.stall(
+                            "dispatch_queue_full"
+                            if queue.occupancy >= queue.capacity
+                            else "dispatch_window_full",
+                            thread,
+                        )
                     continue
                 dst = inst.dst
                 if dst != NO_REG and pools[dst >> _CLASS_SHIFT] <= 0:
+                    if observer is not None:
+                        observer.stall("dispatch_pool_empty", thread)
                     continue
                 decode.popleft()
                 # InFlight construction, spelled out (the constructor is
@@ -644,6 +671,8 @@ class SMTProcessor:
                     queue.ready.append(entry)
                 if queue.sanitizer is not None:
                     queue.sanitizer.check_queue(queue)
+                if observer is not None:
+                    observer.on_dispatch(thread, entry, now)
                 budget -= 1
                 dispatched += 1
                 next_live.append(thread)
@@ -665,7 +694,20 @@ class SMTProcessor:
             order = self._fetch_order()
         for thread in order:
             if groups == fetch_groups:
-                break
+                if observer is None:
+                    break
+                # Stall attribution: remaining threads with fetchable
+                # work lost this cycle's fetch-group arbitration.
+                ctx = threads[thread]
+                if (
+                    ctx.trace is not None
+                    and ctx.fetch_idx < ctx.trace_len
+                    and not ctx.fetch_blocked
+                    and ctx.fetch_stall_until <= now
+                    and len(ctx.decode) <= decode_room
+                ):
+                    observer.stall("fetch_no_slot", thread)
+                continue
             ctx = threads[thread]
             idx = ctx.fetch_idx
             if ctx.trace is None or idx >= ctx.trace_len:
@@ -674,10 +716,18 @@ class SMTProcessor:
                 # Wrong-path fetch: the front end does not know the branch
                 # mispredicted, so the thread keeps consuming fetch slots
                 # on instructions that will be squashed.
+                if observer is not None:
+                    observer.stall("fetch_blocked_branch", thread)
                 groups += 1
                 continue
             decode = ctx.decode
-            if ctx.fetch_stall_until > now or len(decode) > decode_room:
+            if ctx.fetch_stall_until > now:
+                if observer is not None:
+                    observer.stall("fetch_icache", thread)
+                continue
+            if len(decode) > decode_room:
+                if observer is not None:
+                    observer.stall("fetch_decode_full", thread)
                 continue
             groups += 1
             instructions = ctx.trace.instructions
@@ -690,6 +740,8 @@ class SMTProcessor:
                 # place — re-attempting them would itself occupy the bank
                 # and can livelock two threads against each other.
                 ctx.fetch_stall_until = ready
+                if observer is not None:
+                    observer.stall("fetch_icache", thread)
                 continue
             took_vector = False
             group_line = pc >> 5
@@ -709,6 +761,8 @@ class SMTProcessor:
                 if is_branch:
                     mispredicted = not predict(thread, inst.pc, inst.taken)
                 decode.append((inst, mispredicted))
+                if observer is not None:
+                    observer.on_fetch(thread, inst, now, mispredicted)
                 inflight_insts += 1
                 inflight_ops += inst.stream_length
                 fetched += 1
@@ -793,6 +847,11 @@ class SMTProcessor:
             per_program_committed=dict(self.per_program_committed),
             sampling=sampling,
             samples=samples,
+            observability=(
+                self.observer.snapshot()
+                if self.observer is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------- sampling

@@ -69,6 +69,10 @@ class L2Cache:
         self.stats = CacheStats()
         self._bank_free = [0] * config.banks
         self.mshr = MshrFile(config.mshrs)
+        #: Optional :class:`repro.obs.events.PipelineObserver` — set by
+        #: :meth:`repro.memory.interface.MemorySystem.attach_observer`.
+        #: L2 transactions carry no requester context (thread ``-1``).
+        self.observer = None
         # Hot-path constants (config is frozen; line_shift is a property).
         self._line_shift = config.line_shift
         self._latency = config.latency
@@ -108,6 +112,11 @@ class L2Cache:
             if pending is not None and pending > done:
                 done = pending
             stats.latency_sum += done - now
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l2", -1, "store" if is_store else "load",
+                    True, now, done - now,
+                )
             return done
         # Miss: merge with an in-flight fill when possible.
         pending = mshr.pending_fill(line, start)
@@ -116,6 +125,11 @@ class L2Cache:
             stats.latency_sum += done - now
             if is_store:
                 tags.mark_dirty(line)
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l2", -1, "store" if is_store else "load",
+                    False, now, done - now,
+                )
             return done
         start = max(start, mshr.earliest_free(start))
         fill = self.dram.access(start + latency, self._line_bytes)
@@ -125,6 +139,11 @@ class L2Cache:
             # Dirty write-back consumes channel bandwidth.
             self.dram.access(fill, self._line_bytes)
         stats.latency_sum += fill - now
+        if self.observer is not None:
+            self.observer.mem_access(
+                "l2", -1, "store" if is_store else "load",
+                False, now, fill - now,
+            )
         return fill
 
     def invalidate(self, addr: int) -> bool:

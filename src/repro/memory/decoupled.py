@@ -83,7 +83,11 @@ class DecoupledHierarchy(MemorySystem):
         phys = physical_address(thread, addr)
         start = self._acquire(self._scalar_ports, now)
         if kind == AccessType.SCALAR_STORE:
-            done, __, bank_wait = self.l1.store_line(phys, start)
+            done, hit, bank_wait = self.l1.store_line(phys, start)
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l1", thread, "store", hit, now, done - now
+                )
         else:
             done, hit, bank_wait = self.l1.load_line(phys, start)
             # Loads only: the write-through L1 does not allocate on stores.
@@ -92,6 +96,10 @@ class DecoupledHierarchy(MemorySystem):
             if hit:
                 l1_stats.hits += 1
             l1_stats.latency_sum += done - now
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l1", thread, "load", hit, now, done - now
+                )
         self.stats.bank_conflict_cycles += bank_wait
         return done
 
@@ -102,19 +110,26 @@ class DecoupledHierarchy(MemorySystem):
     ) -> int:
         phys = physical_address(thread, addr)
         start = self._acquire(self._vector_ports, now)
-        start = self._coherence_check(phys, start)
+        start = self._coherence_check(phys, start, thread)
         if self.sanitizer is not None:
             self.sanitizer.check_stream_bypass(self.l1, phys)
-        done = self.l2.access(
-            phys, start, is_store=(kind == AccessType.VECTOR_STORE)
-        )
+        is_store = kind == AccessType.VECTOR_STORE
+        done = self.l2.access(phys, start, is_store=is_store)
         # Vector references are counted in the L1 row of the statistics as
         # bypassing accesses: they neither hit nor miss L1; the paper's
         # Table 4 reports L1 behaviour of the *scalar* stream only under
         # the decoupled organization, so we keep them out of L1 stats.
+        if self.observer is not None:
+            # hit=None: the bypass port does not see the L2 tag outcome
+            # (the L2's own observer hook records hit/miss, thread -1).
+            self.observer.mem_access(
+                "stream_bypass", thread,
+                "store" if is_store else "load",
+                None, now, done - now,
+            )
         return done
 
-    def _coherence_check(self, phys: int, now: int) -> int:
+    def _coherence_check(self, phys: int, now: int, thread: int = -1) -> int:
         """Exclusive-bit policy: evict a scalar-owned copy before streaming."""
         if self.l1.contains(phys):
             drained = self.l1.write_buffer.flush_line(
@@ -122,6 +137,10 @@ class DecoupledHierarchy(MemorySystem):
             )
             self.l1.invalidate(phys)
             self.stats.coherence_invalidations += 1
+            if self.observer is not None:
+                self.observer.mem_note(
+                    "stream_bypass", "invalidation", thread, now
+                )
             return drained + INVALIDATION_PENALTY
         return now
 
@@ -137,6 +156,7 @@ class DecoupledHierarchy(MemorySystem):
         """Stream elements coalesce per 128-byte L2 line at the L2 banks."""
         line_shift = self.l2._line_shift
         is_store = kind == AccessType.VECTOR_STORE
+        observer = self.observer
         done = now + 1
         index = 0
         while index < count:
@@ -150,10 +170,16 @@ class DecoupledHierarchy(MemorySystem):
                 group += 1
             phys = physical_address(thread, addr)
             start = self._acquire(self._vector_ports, now)
-            start = self._coherence_check(phys, start)
+            start = self._coherence_check(phys, start, thread)
             if self.sanitizer is not None:
                 self.sanitizer.check_stream_bypass(self.l1, phys)
             line_done = self.l2.access(phys, start, is_store=is_store)
+            if observer is not None:
+                observer.mem_access(
+                    "stream_bypass", thread,
+                    "stream_store" if is_store else "stream_load",
+                    None, start, line_done - start, group,
+                )
             if line_done > done:
                 done = line_done
             index += group
@@ -241,4 +267,8 @@ class DecoupledHierarchy(MemorySystem):
         if hit:
             icache_stats.hits += 1
         icache_stats.latency_sum += done - now
+        if self.observer is not None:
+            self.observer.mem_access(
+                "icache", thread, "fetch", hit, now, done - now
+            )
         return done

@@ -82,7 +82,11 @@ class ConventionalHierarchy(MemorySystem):
         start = now if now > free else free
         ports[port] = start + 1
         if kind is AccessType.SCALAR_STORE or kind is AccessType.VECTOR_STORE:
-            done, __, bank_wait = self.l1.store_line(phys, start)
+            done, hit, bank_wait = self.l1.store_line(phys, start)
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l1", thread, "store", hit, now, done - now
+                )
         else:
             done, hit, bank_wait = self.l1.load_line(phys, start)
             # Hit-rate statistics cover loads only: the write-through,
@@ -92,6 +96,10 @@ class ConventionalHierarchy(MemorySystem):
             if hit:
                 l1_stats.hits += 1
             l1_stats.latency_sum += done - now
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "l1", thread, "load", hit, now, done - now
+                )
         self.stats.bank_conflict_cycles += bank_wait
         return done
 
@@ -113,6 +121,7 @@ class ConventionalHierarchy(MemorySystem):
         line_shift = self.l1._line_shift
         l1_stats = self._l1_stats
         ports = self._ports
+        observer = self.observer
         done = now + 1
         index = 0
         while index < count:
@@ -130,7 +139,7 @@ class ConventionalHierarchy(MemorySystem):
             start = now if now > free else free
             ports[port] = start + 1
             if is_store:
-                line_done, __, bank_wait = self.l1.store_line(phys, start)
+                line_done, hit, bank_wait = self.l1.store_line(phys, start)
             else:
                 line_done, hit, bank_wait = self.l1.load_line(phys, start)
                 l1_stats.accesses += group
@@ -142,6 +151,12 @@ class ConventionalHierarchy(MemorySystem):
                 # lines are presented to the ports together, so measuring
                 # from `now` would count issue queuing as cache latency.
                 l1_stats.latency_sum += (line_done - start) * group
+            if observer is not None:
+                observer.mem_access(
+                    "l1", thread,
+                    "stream_store" if is_store else "stream_load",
+                    hit, start, line_done - start, group,
+                )
             self.stats.bank_conflict_cycles += bank_wait
             if line_done > done:
                 done = line_done
@@ -240,6 +255,10 @@ class ConventionalHierarchy(MemorySystem):
             done = bank_free[bank] + latency
             stats.hits += 1
             stats.latency_sum += done - now
+            if self.observer is not None:
+                self.observer.mem_access(
+                    "icache", thread, "fetch", True, now, done - now
+                )
             return done
         bank_free[bank] = now + 1
         tags = icache.tags
@@ -255,6 +274,10 @@ class ConventionalHierarchy(MemorySystem):
                     done = fill + latency
                 stats.hits += 1
                 stats.latency_sum += done - now
+                if self.observer is not None:
+                    self.observer.mem_access(
+                        "icache", thread, "fetch", True, now, done - now
+                    )
                 return done
         # Miss: merge with or allocate an outstanding fill.
         mshr = icache.mshr
@@ -268,4 +291,8 @@ class ConventionalHierarchy(MemorySystem):
             tags.fill(line)
             done = fill + latency
         stats.latency_sum += done - now
+        if self.observer is not None:
+            self.observer.mem_access(
+                "icache", thread, "fetch", False, now, done - now
+            )
         return done

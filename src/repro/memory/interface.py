@@ -65,6 +65,8 @@ class MemorySystem:
         self.stats = MemoryStats()
         #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.events.PipelineObserver`.
+        self.observer = None
 
     def attach_sanitizer(self, sanitizer) -> None:
         """Hook a runtime sanitizer into this hierarchy's components.
@@ -86,6 +88,31 @@ class MemorySystem:
             buffer = getattr(cache, "write_buffer", None)
             if buffer is not None:
                 buffer.sanitizer = sanitizer
+
+    def attach_observer(self, observer) -> None:
+        """Hook a pipeline observer into this hierarchy's components.
+
+        Same conventional-attribute walk as :meth:`attach_sanitizer`:
+        the hierarchy itself emits the L1/I-cache/stream-bypass events,
+        while the shared L2, the MSHR files and the write buffers carry
+        their own observer reference (MSHRs additionally learn which
+        cache they serve, for the event component name).  Models without
+        those structures simply record the observer.
+        """
+        self.observer = observer
+        for name in ("l1", "l2", "icache"):
+            cache = getattr(self, name, None)
+            if cache is None:
+                continue
+            if hasattr(cache, "observer"):
+                cache.observer = observer
+            mshr = getattr(cache, "mshr", None)
+            if mshr is not None:
+                mshr.observer = observer
+                mshr.obs_name = f"{name}.mshr"
+            buffer = getattr(cache, "write_buffer", None)
+            if buffer is not None:
+                buffer.observer = observer
 
     def access(
         self, thread: int, addr: int, kind: AccessType, now: int

@@ -16,7 +16,7 @@ class MshrFile:
     time has passed are free; expiry is lazy (cleaned on allocation).
     """
 
-    __slots__ = ("n_entries", "_pending", "sanitizer")
+    __slots__ = ("n_entries", "_pending", "sanitizer", "observer", "obs_name")
 
     def __init__(self, n_entries: int):
         if n_entries < 1:
@@ -25,6 +25,11 @@ class MshrFile:
         self._pending: dict[int, int] = {}
         #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.events.PipelineObserver`; the
+        #: attach walker renames ``obs_name`` to the serving cache
+        #: (``l1.mshr``, ``l2.mshr``, ``icache.mshr``).
+        self.observer = None
+        self.obs_name = "mshr"
 
     def _reap(self, now: int) -> None:
         if len(self._pending) >= self.n_entries:
@@ -54,6 +59,8 @@ class MshrFile:
         self._pending[line_addr] = fill_cycle
         if self.sanitizer is not None:
             self.sanitizer.check_mshr(self, now)
+        if self.observer is not None:
+            self.observer.mem_note(self.obs_name, "allocate", -1, now)
 
     def outstanding(self, now: int) -> int:
         """Number of misses still in flight at ``now``."""

@@ -21,6 +21,7 @@ class WriteBuffer:
         "coalesced",
         "full_stalls",
         "sanitizer",
+        "observer",
     )
 
     def __init__(self, depth: int = 8, drain_interval: int = 4):
@@ -35,6 +36,8 @@ class WriteBuffer:
         self.full_stalls = 0
         #: Optional :class:`repro.verify.sanitizer.RuntimeSanitizer`.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.events.PipelineObserver`.
+        self.observer = None
 
     def _reap(self, now: int) -> None:
         if len(self._entries) >= self.depth:
@@ -50,12 +53,16 @@ class WriteBuffer:
         """
         if line_addr in self._entries and self._entries[line_addr] > now:
             self.coalesced += 1
+            if self.observer is not None:
+                self.observer.mem_note("writebuffer", "coalesce", -1, now)
             return now
         self._reap(now)
         accept = now
         if len(self._entries) >= self.depth:
             accept = min(self._entries.values())
             self.full_stalls += 1
+            if self.observer is not None:
+                self.observer.mem_note("writebuffer", "full_stall", -1, now)
             self._entries = {
                 a: t for a, t in self._entries.items() if t > accept
             }

@@ -1,0 +1,191 @@
+"""Determinism audit: no unseeded randomness, no ordering dependence.
+
+The whole harness rests on runs being exactly reproducible — the result
+cache, the bit-identity suite, the golden runs and the chaos harness's
+byte-identical-report guarantee all assume it (policy in
+``docs/TESTING.md``).  These tests audit the two ways determinism rots:
+
+* **unseeded randomness / wall-clock leaks** — a static scan of the
+  simulation packages for module-level RNG calls, clock reads and other
+  entropy sources.  Randomness is allowed only as a seeded
+  ``random.Random(seed)`` instance in the trace generator.
+* **ordering dependence** — the same run executed under different
+  ``PYTHONHASHSEED`` values must produce byte-identical canonical
+  results; iteration over a ``set``/``dict`` whose order leaks into the
+  simulation shows up here as a hash-seed-dependent divergence.
+"""
+
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+)
+
+#: Packages whose code feeds simulated outcomes (and therefore the run
+#: cache fingerprint — keep in sync with ``runner._SIMULATION_PACKAGES``).
+SIM_PACKAGES = ("core", "memory", "isa", "tracegen", "workloads")
+
+#: Entropy/clock constructs that must never appear in simulation code.
+#: ``random.Random(`` (a seeded instance) is deliberately NOT matched:
+#: the bans cover the module-level functions that share hidden global
+#: state and the OS-level entropy/clock sources.
+FORBIDDEN = {
+    "module-level RNG call": re.compile(
+        r"\brandom\.(random|randint|randrange|choice|choices|shuffle|"
+        r"sample|seed|gauss|uniform|betavariate|expovariate)\s*\("
+    ),
+    "wall-clock read": re.compile(
+        r"\btime\.(time|perf_counter|monotonic|process_time)\s*\("
+    ),
+    "OS entropy": re.compile(r"\bos\.urandom\s*\(|\buuid\.uuid"),
+    "NumPy RNG": re.compile(r"\bnp\.random\.|\bnumpy\.random\."),
+}
+
+
+def sim_sources():
+    for package in SIM_PACKAGES:
+        root = os.path.join(SRC, package)
+        for dirpath, __, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def test_simulation_packages_are_entropy_free():
+    violations = []
+    for path in sim_sources():
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                code = line.split("#", 1)[0]
+                for label, pattern in FORBIDDEN.items():
+                    if pattern.search(code):
+                        rel = os.path.relpath(path, SRC)
+                        violations.append(f"{rel}:{lineno}: {label}: "
+                                          f"{line.strip()}")
+    assert not violations, (
+        "simulation code reached for unseeded entropy or the wall clock "
+        "(seeded random.Random instances are the only sanctioned "
+        "randomness — docs/TESTING.md):\n" + "\n".join(violations)
+    )
+
+
+def test_rng_construction_is_always_seeded():
+    # Every random.Random(...) in the tree must receive an explicit
+    # seed expression; a bare random.Random() reseeds from the OS.
+    bare = re.compile(r"\brandom\.Random\(\s*\)")
+    violations = []
+    for path in sim_sources():
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                if bare.search(line.split("#", 1)[0]):
+                    violations.append(
+                        f"{os.path.relpath(path, SRC)}:{lineno}: "
+                        f"{line.strip()}"
+                    )
+    assert not violations, (
+        "unseeded random.Random() found:\n" + "\n".join(violations)
+    )
+
+
+def test_obs_package_reads_no_wall_clock_outside_profiler():
+    # The profiler is the one sanctioned clock consumer (its output is
+    # declared volatile and never enters reports or cache keys); event
+    # and metric code must stay time-free so observed snapshots are
+    # reproducible.
+    clock = FORBIDDEN["wall-clock read"]
+    for dirpath, __, filenames in os.walk(os.path.join(SRC, "obs")):
+        for name in sorted(filenames):
+            if not name.endswith(".py") or name == "profile.py":
+                continue
+            with open(os.path.join(dirpath, name)) as handle:
+                for lineno, line in enumerate(handle, 1):
+                    assert not clock.search(line.split("#", 1)[0]), (
+                        f"obs/{name}:{lineno} reads the wall clock; only "
+                        f"obs/profile.py may ({line.strip()})"
+                    )
+
+
+_HASHSEED_CHILD = """
+import hashlib, json
+from repro.analysis.runner import RunRequest, execute_request, result_to_dict
+result = execute_request(RunRequest(
+    isa="mom", n_threads=2, memory="conventional", fetch_policy="rr",
+    scale=2e-5,
+))
+blob = json.dumps(result_to_dict(result), sort_keys=True,
+                  separators=(",", ":"))
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+
+@pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+def test_results_are_hashseed_independent(hashseed, tmp_path):
+    # Different PYTHONHASHSEED values randomize set/dict iteration
+    # order; a simulation outcome that depends on it diverges here.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(SRC, "..")
+    env["PYTHONHASHSEED"] = hashseed
+    proc = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_CHILD],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    digest = proc.stdout.strip()
+    reference_path = tmp_path.parent / "hashseed-reference.txt"
+    # First parametrization writes the reference; the rest must match.
+    try:
+        with open(reference_path, "x") as handle:
+            handle.write(digest)
+    except FileExistsError:
+        with open(reference_path) as handle:
+            assert digest == handle.read(), (
+                f"result hash changed under PYTHONHASHSEED={hashseed}: "
+                "a set/dict iteration order is leaking into the simulation"
+            )
+
+
+def test_observer_streams_are_run_to_run_identical():
+    # Two observed runs of the same config in one process: the event
+    # stream and the metrics snapshot must match element for element
+    # (id()-keyed bookkeeping must not leak allocation order).
+    from repro.core import SMTConfig, SMTProcessor
+    from repro.memory import ConventionalHierarchy
+    from repro.tracegen import build_program_trace
+
+    def observed_run():
+        traces = [
+            build_program_trace("jpegenc", "mom", scale=2e-5),
+            build_program_trace("gsmdec", "mom", scale=2e-5),
+        ]
+        processor = SMTProcessor(
+            SMTConfig(isa="mom", n_threads=4, observe=True),
+            ConventionalHierarchy(),
+            traces,
+            completions_target=1,
+            warmup_fraction=0.0,
+        )
+        result = processor.run()
+        observer = processor.observer
+        return (
+            [record.to_dict() for record in observer.records],
+            observer.mem_events,
+            result.observability["metrics"],
+        )
+
+    first, second = observed_run(), observed_run()
+    assert first[0] == second[0], "instruction records diverged"
+    assert first[1] == second[1], "memory events diverged"
+    assert first[2] == second[2], "metrics snapshot diverged"
+    digest = hashlib.sha256(
+        json.dumps(first, sort_keys=True).encode()
+    ).hexdigest()
+    assert digest == hashlib.sha256(
+        json.dumps(second, sort_keys=True).encode()
+    ).hexdigest()

@@ -1,0 +1,121 @@
+"""Golden-run regression suite: headline ratios stay inside their bands.
+
+``tests/golden/{table3,fig4,fig6,fig8}.json`` freeze the experiments'
+headline metrics at smoke scale (see ``repro.analysis.goldens``).  Each
+test re-measures one experiment and fails with a golden/measured/paper
+diff table when any metric leaves its tolerance band.  Regenerate after
+a *deliberate* modelling change with ``scripts/update_goldens.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.goldens import (
+    EXPERIMENTS,
+    GOLDEN_SCALE,
+    GOLDEN_THREADS,
+    allowed_band,
+    check_experiment,
+    compare_metrics,
+    compute_golden_metrics,
+    golden_path,
+)
+from repro.analysis.runner import Runner
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # One runner for the whole module: overlapping simulation points
+    # between experiments are memoized in process.
+    return Runner()
+
+
+def load_golden(experiment):
+    with open(golden_path(experiment, GOLDEN_DIR)) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_golden_file_is_well_formed(experiment):
+    document = load_golden(experiment)
+    assert document["experiment"] == experiment
+    assert document["scale"] == GOLDEN_SCALE
+    assert document["threads"] == list(GOLDEN_THREADS)
+    assert document["metrics"], "a golden file must lock at least one metric"
+    for name, metric in document["metrics"].items():
+        assert allowed_band(metric) > 0, (
+            f"{experiment}:{name} has no tolerance band — "
+            "an exact-match golden breaks on any legitimate drift"
+        )
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_headline_metrics_stay_inside_golden_bands(experiment, runner):
+    failures, report = check_experiment(experiment, GOLDEN_DIR, runner)
+    assert not failures, (
+        f"{len(failures)} golden metric(s) moved out of band "
+        f"({', '.join(failures)}).  If the modelling change is deliberate, "
+        f"regenerate with scripts/update_goldens.py.\n{report}"
+    )
+
+
+def test_table3_is_deterministic_and_tight(runner):
+    # The Table 3 metrics are pure trace-generator functions: two
+    # computations in one process must agree exactly, well inside any
+    # band.
+    first = compute_golden_metrics("table3", runner)
+    second = compute_golden_metrics("table3", runner)
+    assert first == second
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="unknown golden experiment"):
+        compute_golden_metrics("fig99")
+
+
+# ----- the comparator itself -------------------------------------------------
+
+
+def metric(value, paper=None, rel_tol=None, abs_tol=None):
+    return {"value": value, "paper": paper, "rel_tol": rel_tol,
+            "abs_tol": abs_tol}
+
+
+def test_compare_flags_out_of_band_and_names_the_metric():
+    golden = {
+        "speedup": metric(2.0, paper=2.02, rel_tol=0.02),
+        "gain": metric(0.05, abs_tol=0.02),
+    }
+    measured = {
+        "speedup": metric(2.2),   # +10% — outside the 2% band
+        "gain": metric(0.06),     # inside the ±0.02 band
+    }
+    failures, report = compare_metrics(golden, measured)
+    assert failures == ["speedup"]
+    assert "FAIL" in report and "PASS" in report
+    # The report reads as a paper-vs-measured diff, not a bare assert.
+    assert "golden" in report and "paper" in report
+    assert "paper=   2.020" in report
+
+
+def test_compare_flags_missing_and_extra_metrics():
+    failures, report = compare_metrics(
+        {"only_golden": metric(1.0, rel_tol=0.1)},
+        {"only_measured": metric(1.0, rel_tol=0.1)},
+    )
+    assert sorted(failures) == ["only_golden", "only_measured"]
+    assert "MISSING" in report
+
+
+def test_band_semantics():
+    assert allowed_band(metric(2.0, rel_tol=0.02)) == pytest.approx(0.04)
+    assert allowed_band(metric(-2.0, rel_tol=0.02)) == pytest.approx(0.04)
+    assert allowed_band(metric(0.05, abs_tol=0.02)) == pytest.approx(0.02)
+    # abs_tol wins when both are present (gains sit near zero, where a
+    # relative band collapses to nothing).
+    assert allowed_band(metric(0.0, rel_tol=0.5, abs_tol=0.01)) == 0.01
+    assert allowed_band(metric(1.0)) == 0.0
