@@ -2,16 +2,27 @@
 """Run every static verification check over the repository's artifacts.
 
 Usage:
-    python scripts/verify_tool.py            # all checks
+    python scripts/verify_tool.py            # all checks + codelint
     python scripts/verify_tool.py isa        # ISA table cross-validation
     python scripts/verify_tool.py asm        # lint examples + kernel library
     python scripts/verify_tool.py traces     # validate generated traces
+    python scripts/verify_tool.py lint       # whole-repo AST invariant linter
 
-Exit status is 0 when no checker reports an ERROR-severity diagnostic
-(warnings are printed but do not fail the run), non-zero otherwise.
-See docs/VERIFY.md for the full rule catalogue.
+``lint`` options:
+    --json PATH            write the machine-readable report (CI artifact)
+    --baseline PATH        baseline file (default: .codelint-baseline.json)
+    --update-baseline      accept all current findings into the baseline
+
+Exit status (CI keys on these — see docs/VERIFY.md):
+    0  clean
+    1  artifact checks (isa/asm/traces) reported ERROR diagnostics
+    2  usage error
+    3  codelint reported non-baselined diagnostics (and artifact checks,
+       if also selected, were clean)
 """
 
+import json
+import os
 import sys
 
 from repro.isa import codegen
@@ -21,6 +32,7 @@ from repro.verify.asmcheck import lint_program, lint_source
 from repro.verify.diagnostics import Report
 from repro.verify.isacheck import check_isa
 from repro.verify.tracecheck import check_trace
+from repro.verify import codelint
 
 #: Scale for the smoke traces: small enough to validate in seconds,
 #: large enough to exercise every emission path of the generator.
@@ -79,6 +91,53 @@ def run_traces(report: Report) -> None:
     print(f"tracecheck: {checked} generated traces validated")
 
 
+def run_lint(
+    json_path: str | None = None,
+    baseline_path: str | None = None,
+    update_baseline: bool = False,
+) -> bool:
+    """Run the repo-wide AST linter; returns True when clean."""
+    root = codelint.repo_root(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = baseline_path or os.path.join(
+        root, codelint.BASELINE_NAME
+    )
+    diagnostics, files = codelint.lint_repo(root)
+    if update_baseline:
+        codelint.save_baseline(baseline_path, diagnostics, files)
+        print(
+            f"codelint: baseline rewritten with {len(diagnostics)} "
+            f"finding(s) -> {os.path.relpath(baseline_path, root)}"
+        )
+        return True
+    entries = codelint.load_baseline(baseline_path)
+    new, baselined, stale = codelint.apply_baseline(
+        diagnostics, files, entries
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                codelint.json_report(new, files, baselined, stale),
+                handle, indent=2,
+            )
+            handle.write("\n")
+    print(
+        f"codelint: {len(files)} files, {len(new)} new finding(s), "
+        f"{len(baselined)} baselined, {len(stale)} stale baseline entr"
+        f"{'y' if len(stale) == 1 else 'ies'}"
+    )
+    if new:
+        print()
+        print(codelint.render_text(new))
+    if stale:
+        print(
+            "codelint: stale baseline entries (fixed findings) — "
+            "refresh with --update-baseline:"
+        )
+        for entry in stale:
+            print(f"  {entry['path']}: [{entry['code']}] {entry['content']}")
+    return not new
+
+
 COMMANDS = {
     "isa": run_isa,
     "asm": run_asm,
@@ -87,27 +146,63 @@ COMMANDS = {
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+    args = argv[1:]
+    if args and args[0] in ("-h", "--help"):
         print(__doc__)
         return 0
-    selected = argv[1:] or list(COMMANDS)
-    unknown = [name for name in selected if name not in COMMANDS]
+    json_path = None
+    baseline_path = None
+    update_baseline = False
+    selected = []
+    it = iter(args)
+    for arg in it:
+        if arg == "--json":
+            json_path = next(it, None)
+            if json_path is None:
+                print("--json needs a path", file=sys.stderr)
+                return 2
+        elif arg == "--baseline":
+            baseline_path = next(it, None)
+            if baseline_path is None:
+                print("--baseline needs a path", file=sys.stderr)
+                return 2
+        elif arg == "--update-baseline":
+            update_baseline = True
+        elif arg.startswith("-"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            selected.append(arg)
+    known = set(COMMANDS) | {"lint"}
+    unknown = [name for name in selected if name not in known]
     if unknown:
         print(f"unknown check(s): {', '.join(unknown)}", file=sys.stderr)
         print(__doc__, file=sys.stderr)
         return 2
+    if not selected:
+        selected = list(COMMANDS) + ["lint"]
 
     report = Report()
+    lint_clean = True
     for name in selected:
-        COMMANDS[name](report)
+        if name == "lint":
+            lint_clean = run_lint(json_path, baseline_path, update_baseline)
+        else:
+            COMMANDS[name](report)
     if report.diagnostics:
         print()
         print(report.render())
     print()
     print(
         f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        + ("" if lint_clean else " + codelint findings")
     )
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if not lint_clean:
+        return 3
+    return 0
 
 
 if __name__ == "__main__":

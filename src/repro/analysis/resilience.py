@@ -180,6 +180,14 @@ class SweepFailure(RuntimeError):
             parts.append(f"{len(self.aborted)} aborted before completion")
         super().__init__("; ".join(parts))
 
+    def __reduce__(self):
+        # The default BaseException reduction would rebuild this as
+        # ``SweepFailure(formatted_message)`` — a TypeError, and the
+        # outcome bookkeeping lost — if it ever crosses a process
+        # boundary (nested orchestration, a future distributed sweep
+        # service).  Rebuild from the real outcome lists instead.
+        return (self.__class__, (self.failed + self.aborted, self.total))
+
     def summary(self) -> str:
         """Multi-line report: one line per failed point, with history."""
         lines = [str(self)]

@@ -219,6 +219,48 @@ def code_version() -> str:
     return _code_version_cache
 
 
+#: SMTConfig fields that intentionally do NOT ride the request
+#: fingerprint.  Audited by the FPR-* codelint rules
+#: (:mod:`repro.verify.codelint.rules_fpr`): every ``SMTConfig`` field
+#: must either be forwarded from a :class:`RunRequest` field inside
+#: :func:`execute_request` (and thereby fingerprinted via
+#: ``asdict(self)``) or appear here with its reason.  Three legitimate
+#: categories:
+#:
+#: * **derived** — computed from fingerprinted fields in
+#:   ``SMTConfig.__post_init__``; fingerprinting them would be
+#:   double-counting;
+#: * **observer-only** — proven result-neutral end to end
+#:   (``tests/test_core_sanitizer.py`` and the obs bit-identity suite
+#:   show sanitized/observed runs byte-identical to plain ones);
+#: * **structural constant** — not settable through the runner at all;
+#:   changing one means editing ``core/params.py``, which the
+#:   fingerprint's code-version hash over ``src/repro/core`` already
+#:   invalidates.
+#:
+#: Adding an SMTConfig field without either forwarding it or extending
+#: this table fails CI (FPR-CONFIG-UNFINGERPRINTED); stale entries fail
+#: too (FPR-EXEMPT-STALE), like isacheck's TIMING_ONLY_MNEMONICS.
+FINGERPRINT_EXEMPT_CONFIG_FIELDS = {
+    "resources": "derived: scaled_resources(n_threads) in __post_init__",
+    "issue_simd": "derived: 2 for mmx / 1 for mom in __post_init__",
+    "sanitize": "observer-only: sanitized runs are bit-identical",
+    "observe": "observer-only: observability rides the result, not the key",
+    "fetch_groups": "structural constant (paper §3); code-version covered",
+    "fetch_group_size": "structural constant (paper §3); code-version covered",
+    "dispatch_width": "structural constant (paper §3); code-version covered",
+    "commit_width": "structural constant (paper §3); code-version covered",
+    "issue_int": "structural constant (paper §3); code-version covered",
+    "issue_mem": "structural constant (paper §3); code-version covered",
+    "issue_fp": "structural constant (paper §3); code-version covered",
+    "vector_lanes": "structural constant (paper §3); code-version covered",
+    "decode_buffer": "structural constant (paper §3); code-version covered",
+    "mispredict_redirect": (
+        "structural constant (paper §3); code-version covered"
+    ),
+}
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """One simulation point of an experiment sweep.

@@ -401,6 +401,9 @@ class SMTProcessor:
         # never skip beyond it or its wake entries would be orphaned.
         return max(min(candidates), self.now)
 
+    # codelint: hot-loop — the HOT-* rules hold this body to the
+    # compiled-backend subset: hoisted locals, no per-iteration
+    # allocation, no closures (docs/VERIFY.md).
     def step(self) -> bool:
         """Advance one cycle; returns whether any pipeline work happened.
 
@@ -422,6 +425,9 @@ class SMTProcessor:
         win_sanitizer = window.sanitizer
         observer = self.observer
         pools = self.pools
+        scheduler = self.scheduler
+        predictor = self.predictor
+        per_program_committed = self.per_program_committed
         order = self._orders[self._rotation % config.n_threads]
         win_occ = window.occupancy
 
@@ -496,16 +502,16 @@ class SMTProcessor:
                 and not ctx.decode
             ):
                 name = ctx.trace.name
-                self.per_program_committed[name] = (
-                    self.per_program_committed.get(name, 0)
+                per_program_committed[name] = (
+                    per_program_committed.get(name, 0)
                     + ctx.trace_expanded
                 )
-                replacement = self.scheduler.on_completion()
+                replacement = scheduler.on_completion()
                 if replacement is None:
                     ctx.trace = None
                 else:
                     ctx.assign(replacement.trace)
-                    self.predictor.reset_thread(thread)
+                    predictor.reset_thread(thread)
                 if observer is not None:
                     observer.on_thread_assign(thread)
         self.committed = committed
@@ -522,7 +528,7 @@ class SMTProcessor:
             self.predictor.mispredicts = 0
             self.vector_only_cycles = 0
             self.active_cycles = 0
-        if self.scheduler.done:
+        if scheduler.done:
             window.occupancy = win_occ
             return bool(completed or committed_any)
 

@@ -80,6 +80,17 @@ class ObservabilityError(AssertionError):
         self.message = message
         self.details = details or {}
 
+    def __reduce__(self):
+        # Like InvariantViolation: the default BaseException reduction
+        # reconstructs via ``cls(formatted_message)``, which for this
+        # signature is a TypeError at unpickle time — an observed run
+        # raising in a pool worker would surface as a bare pickling
+        # error with the structured payload lost.
+        return (
+            self.__class__,
+            (self.component, self.code, self.message, self.details),
+        )
+
 
 class InstRecord:
     """Lifetime of one fetched instruction through the pipeline."""

@@ -14,6 +14,10 @@ keys, and ``profile`` is volatile by construction).
 
 from __future__ import annotations
 
+# codelint: disable-file=DET-CLOCK — the profiler is the one sanctioned
+# wall-clock consumer in repro.obs: its output is volatile by
+# construction and never enters reports, goldens or cache keys
+# (docs/TESTING.md; the chaos harness strips it before comparing).
 import time
 from contextlib import contextmanager
 

@@ -1,0 +1,239 @@
+"""HOOK-* — observer/sanitizer hook-site discipline in core and memory.
+
+The zero-overhead-when-disabled contract (PR 1's sanitizer, PR 5's
+observability layer) rests on two structural rules:
+
+* every call **on** an observer/sanitizer object must sit under an
+  ``<receiver> is not None`` guard — either the hoisted-local pattern of
+  the fused hot loop (``observer = self.observer; ... if observer is not
+  None: observer.on_issue(...)``) or a direct ``if self.observer is not
+  None:`` — so a disabled run pays one attribute test per hook site and
+  nothing else.  Truthiness guards (``if self.observer:``) are rejected
+  too: they cost a ``__bool__`` dispatch and break the documented idiom;
+* :mod:`repro.obs` and :mod:`repro.verify` must never be imported at
+  module scope from ``core/`` or ``memory/`` — the simulator only
+  depends on those layers when a run opts in (the bit-identity suite
+  proves ``observe=None`` never imports ``repro.obs``; an eager import
+  would silently break that).
+
+The guard analysis is flow-aware enough for the patterns the code base
+uses: ``and`` chains, conditional expressions, and the inverted
+early-exit guard (``if observer is None: break`` followed by unguarded
+use later in the same block).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.verify.codelint.engine import SourceFile, checker, lint_error
+from repro.verify.diagnostics import Diagnostic
+
+HOOK_SCOPE = ("core/", "memory/")
+
+#: Layers that must stay lazily imported from core/memory.
+_LAZY_LAYERS = ("repro.obs", "repro.verify")
+
+
+def _receiver_tag(node: ast.AST) -> str | None:
+    """The hook receiver name if ``node`` looks like an observer/sanitizer."""
+    if isinstance(node, ast.Name):
+        terminal = node.id
+    elif isinstance(node, ast.Attribute):
+        terminal = node.attr
+    else:
+        return None
+    lowered = terminal.lower()
+    if "observer" in lowered or "sanitizer" in lowered:
+        return terminal
+    return None
+
+
+def _key(node: ast.AST) -> str:
+    """Structural identity for guard matching (src-location-free dump)."""
+    return ast.dump(node)
+
+
+def _guard_sets(test: ast.AST) -> tuple[set[str], set[str]]:
+    """(non-None-when-true, non-None-when-false) receiver keys of a test."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        is_none = isinstance(right, ast.Constant) and right.value is None
+        if is_none and _receiver_tag(left) is not None:
+            if isinstance(op, ast.IsNot):
+                return {_key(left)}, set()
+            if isinstance(op, ast.Is):
+                return set(), {_key(left)}
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        true_set: set[str] = set()
+        for value in test.values:
+            t, __ = _guard_sets(value)
+            true_set |= t
+        return true_set, set()
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        t, f = _guard_sets(test.operand)
+        return f, t
+    return set(), set()
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """Whether a block always exits its enclosing statement list."""
+    return bool(body) and isinstance(
+        body[-1], (ast.Break, ast.Continue, ast.Return, ast.Raise)
+    )
+
+
+class _GuardWalker:
+    """Flow-sensitive scan for unguarded hook calls in one function."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.diags: list[Diagnostic] = []
+
+    def _flag(self, node: ast.Call, receiver: str) -> None:
+        self.diags.append(
+            lint_error(
+                "HOOK-UNGUARDED-CALL", self.source.path, node.lineno,
+                f"call on {receiver!r} without an enclosing "
+                f"'<receiver> is not None' guard; hook sites must follow "
+                "the hoisted-local zero-overhead pattern "
+                "(docs/VERIFY.md, docs/OBSERVABILITY.md)",
+            )
+        )
+
+    # ----- expressions ----------------------------------------------------
+
+    def check_expr(self, node: ast.AST | None, guarded: set[str]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.BoolOp):
+            acc = set(guarded)
+            for value in node.values:
+                self.check_expr(value, acc)
+                t, f = _guard_sets(value)
+                acc |= t if isinstance(node.op, ast.And) else f
+            return
+        if isinstance(node, ast.IfExp):
+            self.check_expr(node.test, guarded)
+            t, f = _guard_sets(node.test)
+            self.check_expr(node.body, guarded | t)
+            self.check_expr(node.orelse, guarded | f)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver = _receiver_tag(func.value)
+                if receiver is not None and _key(func.value) not in guarded:
+                    self._flag(node, receiver)
+            for child in ast.iter_child_nodes(node):
+                self.check_expr(child, guarded)
+            return
+        if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate scope; walked independently
+        for child in ast.iter_child_nodes(node):
+            self.check_expr(child, guarded)
+
+    # ----- statements -----------------------------------------------------
+
+    def check_stmts(self, stmts: list[ast.stmt], guarded: set[str]) -> None:
+        guarded = set(guarded)
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                self.check_expr(stmt.test, guarded)
+                t, f = _guard_sets(stmt.test)
+                self.check_stmts(stmt.body, guarded | t)
+                self.check_stmts(stmt.orelse, guarded | f)
+                # Inverted guard: `if x is None: break` proves x for the
+                # rest of this block; symmetrically for the else arm.
+                if f and _terminates(stmt.body):
+                    guarded |= f
+                elif t and _terminates(stmt.orelse):
+                    guarded |= t
+            elif isinstance(stmt, ast.While):
+                self.check_expr(stmt.test, guarded)
+                t, __ = _guard_sets(stmt.test)
+                self.check_stmts(stmt.body, guarded | t)
+                self.check_stmts(stmt.orelse, guarded)
+            elif isinstance(stmt, ast.For):
+                self.check_expr(stmt.iter, guarded)
+                self.check_stmts(stmt.body, guarded)
+                self.check_stmts(stmt.orelse, guarded)
+            elif isinstance(stmt, (ast.With, ast.Try)):
+                for item in getattr(stmt, "items", []):
+                    self.check_expr(item.context_expr, guarded)
+                self.check_stmts(stmt.body, guarded)
+                for handler in getattr(stmt, "handlers", []):
+                    self.check_stmts(handler.body, guarded)
+                self.check_stmts(getattr(stmt, "orelse", []), guarded)
+                self.check_stmts(getattr(stmt, "finalbody", []), guarded)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes are walked as their own roots
+            else:
+                for child in ast.iter_child_nodes(stmt):
+                    self.check_expr(child, guarded)
+
+
+@checker(
+    name="hook-guards",
+    family="HOOK",
+    codes={
+        "HOOK-UNGUARDED-CALL": (
+            "observer/sanitizer method call not under an 'is not None' "
+            "guard (breaks the zero-overhead-when-disabled contract)"
+        ),
+    },
+    scope=HOOK_SCOPE,
+)
+def check_hook_guards(source: SourceFile) -> Iterator[Diagnostic]:
+    walker = _GuardWalker(source)
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walker.check_stmts(node.body, set())
+    return iter(walker.diags)
+
+
+@checker(
+    name="hook-imports",
+    family="HOOK",
+    codes={
+        "HOOK-EAGER-IMPORT": (
+            "module-scope import of repro.obs / repro.verify from "
+            "core/ or memory/ (these layers must load only when a run "
+            "opts in; import lazily inside the enabling branch)"
+        ),
+    },
+    scope=HOOK_SCOPE,
+)
+def check_hook_imports(source: SourceFile) -> Iterator[Diagnostic]:
+    def module_level(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                yield from module_level(stmt.body)
+                yield from module_level(getattr(stmt, "orelse", []))
+                for handler in getattr(stmt, "handlers", []):
+                    yield from module_level(handler.body)
+                yield from module_level(getattr(stmt, "finalbody", []))
+
+    for stmt in module_level(source.tree.body):
+        offenders = []
+        if isinstance(stmt, ast.Import):
+            offenders = [
+                alias.name
+                for alias in stmt.names
+                if alias.name.startswith(_LAZY_LAYERS)
+            ]
+        elif stmt.module is not None and stmt.level == 0:
+            if stmt.module.startswith(_LAZY_LAYERS):
+                offenders = [stmt.module]
+        for module in offenders:
+            yield lint_error(
+                "HOOK-EAGER-IMPORT", source.path, stmt.lineno,
+                f"{module} imported at module scope; core/memory must "
+                "import the verify/obs layers lazily inside the "
+                "enabling branch (sanitize=/observe=)",
+            )
