@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Timing-regression guard for the simulator hot loop.
 
-Re-times the reference configuration pinned in
-``results/hotloop_baseline.json`` (the protocol and machine-drift
-calibration live in :func:`run_experiments.measure_hot_loop`) and fails
-when the drift-normalized speedup over the pre-optimization baseline
-has regressed more than ``--max-regression`` (default 25 %) below the
-recorded ``optimized_speedup``.
+Guards two timing curves pinned in ``results/hotloop_baseline.json``:
+
+1. The detailed-model hot loop (protocol in
+   :func:`run_experiments.measure_hot_loop`): fails when the
+   drift-normalized speedup over the pre-optimization baseline has
+   regressed more than ``--max-regression`` (default 25 %) below the
+   recorded ``optimized_speedup``.
+2. The sampled-point latency curve (protocol in
+   :func:`run_experiments.measure_sampled_point`): re-times one sampled
+   simulation point under the serial and window-sharded schedules and
+   fails when either drift-normalized latency regresses more than
+   ``--max-regression`` past its recorded baseline — or, regardless of
+   any tolerance, when the two schedules stop being bit-identical
+   (that is a correctness bug in the window sharding, not drift).
 
 The guard also fails when the run's cycle count drifts from the
 baseline: a changed cycle count means the detailed model's semantics
@@ -35,7 +43,65 @@ from run_experiments import (  # noqa: E402  (scripts/ is not a package)
     HOTLOOP_BASELINE,
     Runner,
     measure_hot_loop,
+    measure_sampled_point,
 )
+
+
+def check_sampled_point(runner, baseline, max_regression: float) -> int:
+    """Guard the second curve: sampled-point latency, serial and sharded.
+
+    Returns the exit status contribution: 0 when within budget, 1 on a
+    regression or a bit-identity break, 2 when the measurement could
+    not run.
+    """
+    if "sampled_point" not in baseline:
+        print(
+            "error: baseline has no sampled_point record.\n"
+            "The guard compares the serial and window-sharded latency of "
+            "one sampled simulation point against recorded timings; "
+            "restore results/hotloop_baseline.json from version control "
+            "or re-record it per the protocol in "
+            "run_experiments.measure_sampled_point."
+        )
+        return 2
+
+    record = measure_sampled_point(runner)
+    if record is None:
+        print("sampled-point measurement failed to run")
+        return 2
+
+    if not record["identical"]:
+        print(
+            "sampled point: BIT-IDENTITY BROKEN — the serial and "
+            "window-sharded schedules no longer hash to the same result. "
+            "This is a correctness bug in the window sharding, not a "
+            "timing drift; no tolerance applies."
+        )
+        return 1
+
+    # Each curve is judged against its own baseline, normalized by the
+    # same machine-drift factor, so the recording machine's core count
+    # does not skew the comparison.
+    factor = record["machine_factor"]
+    status = 0
+    for curve in ("serial", "sharded"):
+        measured = record[f"{curve}_seconds"]
+        budget = record[f"baseline_{curve}_seconds"] * factor
+        ceiling = budget * (1.0 + max_regression)
+        verdict = "OK" if measured <= ceiling else "REGRESSION"
+        if verdict == "REGRESSION":
+            status = 1
+        print(
+            f"sampled point [{curve}]: {budget:.3f} s baseline -> "
+            f"{measured:.3f} s now (ceiling {ceiling:.3f}, "
+            f"machine drift x{factor:.3f}) [{verdict}]"
+        )
+    print(
+        f"sampled point: {record['chunks']} chunks, "
+        f"window_jobs={record['config']['window_jobs']}, "
+        f"{record['cores']} cores, bit-identical=True"
+    )
+    return status
 
 
 def main(argv=None) -> int:
@@ -91,7 +157,8 @@ def main(argv=None) -> int:
         )
         return 2
 
-    record = measure_hot_loop(Runner(cache_dir=CACHE_DIR), args.repeats)
+    runner = Runner(cache_dir=CACHE_DIR)
+    record = measure_hot_loop(runner, args.repeats)
     if record is None:
         print("hot-loop measurement failed to run")
         return 2
@@ -100,7 +167,9 @@ def main(argv=None) -> int:
         print(f"cycle drift: {record.get('note', 'unknown cause')}")
         if args.allow_drift:
             print("--allow-drift given; skipping the timing comparison")
-            return 0
+            return check_sampled_point(
+                runner, baseline, args.max_regression
+            )
         print(
             "the detailed model changed semantics; re-record "
             f"{os.path.relpath(HOTLOOP_BASELINE)} if this is intentional"
@@ -116,7 +185,9 @@ def main(argv=None) -> int:
         f"floor {floor:.3f}, machine drift x{record['machine_factor']:.3f}) "
         f"[{verdict}]"
     )
-    return 0 if verdict == "OK" else 1
+    hot_status = 0 if verdict == "OK" else 1
+    shard_status = check_sampled_point(runner, baseline, args.max_regression)
+    return max(hot_status, shard_status)
 
 
 if __name__ == "__main__":

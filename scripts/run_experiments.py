@@ -142,6 +142,155 @@ main()
 """
 
 
+#: Child body for :func:`measure_sampled_point`: times one sampled
+#: simulation point serial (window_jobs=1) vs window-sharded, in a fresh
+#: interpreter for the same reasons as the hot-loop child, and asserts
+#: the two schedules hash identically (sharding must be a pure
+#: execution-strategy change).
+_SHARDPOINT_CHILD = r"""
+import hashlib, json, os, sys, time
+from dataclasses import replace
+from repro.analysis.runner import (
+    RunRequest, execute_request, result_to_dict, workload_traces,
+)
+from repro.core.smt import sampled_chunk_count
+
+
+def calibrate():
+    # Same fixed loop as the hot-loop child (see its comment).
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc += i ^ (i >> 3)
+    return time.perf_counter() - t0
+
+
+def canonical(result):
+    blob = json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def main():
+    cfg = json.loads(sys.argv[1])
+    request = RunRequest(
+        isa=cfg["isa"],
+        n_threads=cfg["n_threads"],
+        memory=cfg["memory"],
+        fetch_policy=cfg["fetch_policy"],
+        scale=cfg["scale"],
+        seed=cfg["seed"],
+        completions_target=cfg["completions_target"],
+        sampling=cfg["sampling"],
+    )
+    trace_dir = cfg["trace_dir"]
+    traces = workload_traces(
+        request.isa, request.scale, request.seed, trace_dir
+    )
+    chunks = sampled_chunk_count(
+        request.sampling, traces, request.completions_target
+    )
+    sharded_request = replace(request, window_jobs=cfg["window_jobs"])
+    serial = sharded = calibration = None
+    serial_hash = sharded_hash = None
+    for __ in range(cfg["repeats"]):
+        t0 = time.perf_counter()
+        result = execute_request(request, trace_dir)
+        elapsed = time.perf_counter() - t0
+        serial_hash = canonical(result)
+        if serial is None or elapsed < serial:
+            serial = elapsed
+        t0 = time.perf_counter()
+        result = execute_request(sharded_request, trace_dir)
+        elapsed = time.perf_counter() - t0
+        sharded_hash = canonical(result)
+        if sharded is None or elapsed < sharded:
+            sharded = elapsed
+        elapsed = calibrate()
+        if calibration is None or elapsed < calibration:
+            calibration = elapsed
+    print(json.dumps({
+        "serial": serial,
+        "sharded": sharded,
+        "chunks": chunks,
+        "serial_hash": serial_hash,
+        "sharded_hash": sharded_hash,
+        "identical": serial_hash == sharded_hash,
+        "calibration": calibration,
+        "cores": os.cpu_count(),
+    }))
+
+
+main()
+"""
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path
+        for path in (
+            os.path.join(REPO_ROOT, "src"),
+            os.environ.get("PYTHONPATH"),
+        )
+        if path
+    )
+    return env
+
+
+def measure_sampled_point(
+    runner: Runner, repeats: int = 2
+) -> dict | None:
+    """Re-time the reference sampled point, serial vs window-sharded.
+
+    ``results/hotloop_baseline.json``'s ``sampled_point`` section pins
+    the wall time of one sampled simulation point under both schedules
+    (config + protocol inside).  This re-runs the identical
+    configuration in a fresh subprocess — min over ``repeats`` of
+    ``execute_request`` serial and with the recorded ``window_jobs`` —
+    asserts the two schedules are bit-identical, and returns the
+    before/after record for BENCH_experiments.json and
+    ``scripts/check_hotloop.py``'s second curve.  Returns ``None`` when
+    the baseline has no ``sampled_point`` section or the subprocess
+    fails.
+    """
+    if not os.path.exists(HOTLOOP_BASELINE):
+        return None
+    try:
+        with open(HOTLOOP_BASELINE) as handle:
+            baseline = json.load(handle)["sampled_point"]
+        cfg = baseline["config"]
+    except (OSError, ValueError, KeyError):
+        return None
+    payload = dict(cfg, repeats=repeats, trace_dir=runner.trace_dir)
+    if payload["trace_dir"]:
+        runner.workload(cfg["isa"], cfg["scale"], cfg["seed"])
+    proc = subprocess.run(
+        [sys.executable, "-c", _SHARDPOINT_CHILD, json.dumps(payload)],
+        capture_output=True,
+        text=True,
+        env=_child_env(),
+    )
+    if proc.returncode != 0:
+        return None
+    measured = json.loads(proc.stdout.strip().splitlines()[-1])
+    machine_factor = measured["calibration"] / baseline["calibration_seconds"]
+    return {
+        "config": cfg,
+        "repeats": repeats,
+        "chunks": measured["chunks"],
+        "cores": measured["cores"],
+        "identical": measured["identical"],
+        "machine_factor": round(machine_factor, 3),
+        "baseline_serial_seconds": baseline["serial_seconds"],
+        "baseline_sharded_seconds": baseline["sharded_seconds"],
+        "serial_seconds": round(measured["serial"], 4),
+        "sharded_seconds": round(measured["sharded"], 4),
+        "shard_speedup": round(measured["serial"] / measured["sharded"], 3),
+    }
+
+
 def measure_hot_loop(runner: Runner, repeats: int = 8) -> dict | None:
     """Re-time the reference hot-loop run against the recorded baseline.
 
@@ -171,20 +320,11 @@ def measure_hot_loop(runner: Runner, repeats: int = 8) -> dict | None:
     if payload["trace_dir"]:
         # Warm the on-disk trace cache so the child only deserializes.
         runner.workload(cfg["isa"], cfg["scale"], cfg["seed"])
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        path
-        for path in (
-            os.path.join(REPO_ROOT, "src"),
-            os.environ.get("PYTHONPATH"),
-        )
-        if path
-    )
     proc = subprocess.run(
         [sys.executable, "-c", _HOTLOOP_CHILD, json.dumps(payload)],
         capture_output=True,
         text=True,
-        env=env,
+        env=_child_env(),
     )
     if proc.returncode != 0:
         return None
@@ -278,6 +418,13 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="worker processes for cache-missing runs (default 1)",
     )
     parser.add_argument(
+        "--window-jobs", type=int, default=1, metavar="N",
+        help="worker processes per sampled point's measurement windows "
+        "(intra-run parallelism; bit-identical to serial; default 1). "
+        "Complements --jobs: use --jobs for many points in flight, "
+        "--window-jobs to cut the latency of a few large sampled points.",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="skip the on-disk result/trace cache (still dedups in process)",
     )
@@ -330,6 +477,8 @@ def parse_args(argv=None) -> argparse.Namespace:
         parser.error("give the scale positionally or via --scale, not both")
     if args.retries < 0:
         parser.error("--retries must be >= 0")
+    if args.window_jobs < 1:
+        parser.error("--window-jobs must be >= 1")
     if args.max_failures is not None and args.max_failures < 1:
         parser.error("--max-failures must be >= 1")
     args.scale = (
@@ -362,7 +511,12 @@ def main(argv=None) -> int:
         max_failures=args.max_failures,
         fail_fast=args.fail_fast,
     )
-    runner = Runner(jobs=args.jobs, cache_dir=cache_dir, resilience=resilience)
+    runner = Runner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        resilience=resilience,
+        window_jobs=args.window_jobs,
+    )
     checkpoint = SweepCheckpoint(
         cache_dir,
         key={
@@ -407,7 +561,11 @@ def main(argv=None) -> int:
         checkpoint.mark(name)
         return result
 
-    def write_bench(status: str, hot_loop: dict | None = None) -> None:
+    def write_bench(
+        status: str,
+        hot_loop: dict | None = None,
+        sampled_point: dict | None = None,
+    ) -> None:
         stats = runner.stats
         # Throughput covers cache hits too: cached results carry the
         # wall time of the run that produced them, so a fully-cached
@@ -446,6 +604,16 @@ def main(argv=None) -> int:
         }
         if hot_loop is not None:
             bench["hot_loop"] = hot_loop
+        if sampled_point is not None:
+            bench["sampled_point"] = sampled_point
+        # Shard provenance: how many points used intra-run parallelism
+        # and what each one's chunk fan-out cost.
+        bench["window_sharding"] = {
+            "window_jobs": args.window_jobs,
+            "points_sharded": len(runner.window_shard_events),
+            "shards": stats.window_shards,
+            "events": runner.window_shard_events,
+        }
         if stall_breakdown is not None:
             bench["stall_breakdown"] = stall_breakdown
         # Wall-clock phase tree (repro.obs.PhaseProfiler): volatile by
@@ -493,9 +661,12 @@ def main(argv=None) -> int:
 
     if args.no_hotloop:
         hot_loop = None
+        sampled_point = None
     else:
         with profiler.phase("hot_loop"):
             hot_loop = measure_hot_loop(runner)
+        with profiler.phase("sampled_point"):
+            sampled_point = measure_sampled_point(runner)
     if hot_loop is not None and hot_loop.get("speedup"):
         emit(
             f"\nhot loop (mom/8T/conventional/rr @1e-4): "
@@ -503,6 +674,21 @@ def main(argv=None) -> int:
             f"{hot_loop['after_seconds']:.2f} s "
             f"({hot_loop['speedup']:.2f}x vs pre-optimization baseline, "
             f"machine-drift normalized)"
+        )
+    if sampled_point is not None:
+        # Stdout only: wall clocks vary machine to machine, the report
+        # must not.
+        cfg = sampled_point["config"]
+        print(
+            f"sampled point ({cfg['isa']}/{cfg['n_threads']}T/"
+            f"{cfg['memory']}/{cfg['fetch_policy']} @{cfg['scale']:g}, "
+            f"{sampled_point['chunks']} chunks, "
+            f"window_jobs={sampled_point['config']['window_jobs']}, "
+            f"{sampled_point['cores']} cores): "
+            f"{sampled_point['serial_seconds']:.2f} s serial -> "
+            f"{sampled_point['sharded_seconds']:.2f} s sharded "
+            f"({sampled_point['shard_speedup']:.2f}x, bit-identical="
+            f"{sampled_point['identical']})"
         )
 
     wall = time.time() - start
@@ -532,7 +718,7 @@ def main(argv=None) -> int:
             handle.write("\n".join(lines) + "\n")
         print(f"report written to {report_path}")
 
-    write_bench("ok", hot_loop)
+    write_bench("ok", hot_loop, sampled_point)
     checkpoint.clear()
     return 0
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI smoke test for window-sharded sampled execution.
+
+Runs one sampled simulation point that genuinely chunks
+(``sampled_chunk_count > 1``), first under the serial schedule through a
+cold cache, then window-sharded (``window_jobs=2``) through a second
+cold cache, and asserts:
+
+1. the sharded run actually fanned out (shard provenance events with
+   more than one chunk),
+2. both schedules produce the same canonical result hash — intra-run
+   parallelism must never move a result by a single bit,
+3. the sharded runner hits the serial runner's cache entry when pointed
+   at it (``window_jobs`` is exempt from the fingerprint, so the two
+   schedules share one cache slot and a warm rerun simulates nothing).
+
+Exit status: 0 on success, 1 on any violated invariant.
+
+Usage:  python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.runner import (  # noqa: E402
+    Runner,
+    RunRequest,
+    result_to_dict,
+    workload_traces,
+)
+from repro.core.smt import sampled_chunk_count  # noqa: E402
+
+#: Small enough for a sub-minute CI step; the short sampling period
+#: makes the schedule chunk even at smoke scale (5 chunks here, vs the
+#: default 40000-cycle period which only chunks at production scales).
+REQUEST = RunRequest(
+    isa="mom",
+    n_threads=8,
+    memory="conventional",
+    fetch_policy="rr",
+    scale=2e-5,
+    sampling=(1000, 200, 50),
+)
+
+
+def canonical_sha256(result) -> str:
+    blob = json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def main() -> int:
+    scratch = tempfile.mkdtemp(prefix="shard_smoke_")
+    try:
+        serial_cache = os.path.join(scratch, "serial")
+        sharded_cache = os.path.join(scratch, "sharded")
+
+        traces = workload_traces(
+            REQUEST.isa, REQUEST.scale, REQUEST.seed,
+            os.path.join(scratch, "traces"),
+        )
+        n_chunks = sampled_chunk_count(
+            REQUEST.sampling, traces, REQUEST.completions_target
+        )
+        if n_chunks <= 1:
+            print(
+                f"FAIL: smoke configuration no longer chunks "
+                f"(sampled_chunk_count={n_chunks}); pick a configuration "
+                "that exercises the sharded path"
+            )
+            return 1
+
+        serial_runner = Runner(cache_dir=serial_cache)
+        serial = serial_runner.run(REQUEST)
+        serial_hash = canonical_sha256(serial)
+
+        sharded_runner = Runner(cache_dir=sharded_cache, window_jobs=2)
+        sharded = sharded_runner.run_batch([REQUEST])[REQUEST]
+        sharded_hash = canonical_sha256(sharded)
+
+        shards = sharded_runner.stats.window_shards
+        if shards != n_chunks:
+            print(
+                f"FAIL: sharded run reported {shards} window shards, "
+                f"expected {n_chunks} — the request did not fan out"
+            )
+            return 1
+        if sharded_hash != serial_hash:
+            print(
+                "FAIL: bit-identity broken — serial and window-sharded "
+                f"schedules diverge ({serial_hash[:16]} vs "
+                f"{sharded_hash[:16]})"
+            )
+            return 1
+
+        # The schedules share one cache slot: a sharded runner pointed
+        # at the serial cache must hit it, not resimulate.
+        warm = Runner(cache_dir=serial_cache, window_jobs=2)
+        warm.run_batch([REQUEST])
+        if warm.stats.simulated != 0 or warm.stats.disk_hits != 1:
+            print(
+                "FAIL: sharded runner missed the serial cache entry "
+                f"(simulated={warm.stats.simulated}, "
+                f"disk_hits={warm.stats.disk_hits}) — window_jobs leaked "
+                "into the fingerprint"
+            )
+            return 1
+
+        wall = sum(
+            event["wall_seconds"]
+            for event in sharded_runner.window_shard_events
+        )
+        print(
+            f"shard smoke OK: {n_chunks} chunks, window_jobs=2, "
+            f"hash {serial_hash[:16]} identical serial/sharded, "
+            f"warm cache shared ({wall:.2f} s sharded wall)"
+        )
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

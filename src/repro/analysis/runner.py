@@ -47,10 +47,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import time
 import warnings
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 
 import repro
 from repro.analysis.resilience import (
@@ -63,7 +64,11 @@ from repro.verify import faultinject
 from repro.core.fetch import FetchPolicy
 from repro.core.metrics import RunResult
 from repro.core.params import SMTConfig
-from repro.core.smt import SMTProcessor
+from repro.core.smt import (
+    SMTProcessor,
+    merge_sampled_chunks,
+    sampled_chunk_count,
+)
 from repro.memory.decoupled import DecoupledHierarchy
 from repro.memory.hierarchy import ConventionalHierarchy
 from repro.memory.interface import CacheStats, MemoryStats
@@ -260,6 +265,24 @@ FINGERPRINT_EXEMPT_CONFIG_FIELDS = {
     ),
 }
 
+#: :class:`RunRequest` fields that intentionally do NOT ride the
+#: fingerprint, mirroring ``FINGERPRINT_EXEMPT_CONFIG_FIELDS`` above.
+#: ``fingerprint`` pops every key listed here from its payload;
+#: ``tests/test_analysis_runner.py`` audits the table (each key must be
+#: a real request field, and requests differing only in an exempt field
+#: must fingerprint — and compare — equal).
+FINGERPRINT_EXEMPT_REQUEST_FIELDS = {
+    "window_jobs": (
+        "measurement-invariant by construction: the sampled schedule is "
+        "chunked identically for every window_jobs value (the chunk "
+        "count is a pure function of config and workload, see "
+        "repro.core.smt.sampled_chunk_count) and merged in fixed chunk "
+        "order, so serial and sharded execution are bit-identical; "
+        "fingerprinting it would fork the result cache on a pure "
+        "execution-strategy knob"
+    ),
+}
+
 
 @dataclass(frozen=True)
 class RunRequest:
@@ -282,6 +305,14 @@ class RunRequest:
     #: :class:`SMTConfig` and part of the fingerprint: a sampled result
     #: never masquerades as (or shadows) a full-detail one.
     sampling: tuple | None = None
+    #: Worker processes for the sampled run's window chunks (``1`` =
+    #: in-process serial schedule).  An execution-strategy knob, not a
+    #: measurement parameter: excluded from equality/hash (two requests
+    #: differing only here are the *same* simulation point — memo and
+    #: cache must agree) and from the fingerprint (see
+    #: ``FINGERPRINT_EXEMPT_REQUEST_FIELDS``).  Ignored for non-sampled
+    #: runs and for workloads too small to chunk.
+    window_jobs: int = field(default=1, compare=False)
 
     def __post_init__(self):
         # Normalize enum-typed policies so RunRequest("mmx", 1,
@@ -290,6 +321,7 @@ class RunRequest:
         if isinstance(self.fetch_policy, FetchPolicy):
             object.__setattr__(self, "fetch_policy", self.fetch_policy.value)
         object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "window_jobs", max(1, int(self.window_jobs)))
         if self.sampling is not None:
             # Lists (e.g. from JSON round-trips) and tuples must be the
             # same request; tuples also keep the dataclass hashable.
@@ -300,6 +332,8 @@ class RunRequest:
     def fingerprint(self, version: str | None = None) -> str:
         """Stable cache key: request fields + code version + format."""
         payload = asdict(self)
+        for exempt in FINGERPRINT_EXEMPT_REQUEST_FIELDS:
+            payload.pop(exempt, None)
         payload["scale"] = repr(self.scale)
         payload["code_version"] = version or code_version()
         payload["result_format"] = RESULT_FORMAT
@@ -377,7 +411,22 @@ def workload_traces(
 def execute_request(
     request: RunRequest, trace_dir: str | None = None
 ) -> RunResult:
-    """Run one simulation point (no result caching at this layer)."""
+    """Run one simulation point (no result caching at this layer).
+
+    Sampled requests with ``window_jobs > 1`` fan their window chunks
+    out over a process pool (:func:`_execute_request_sharded`) — unless
+    this process is itself a pool worker, in which case nesting pools
+    would oversubscribe the machine and the serial schedule (which is
+    bit-identical anyway) runs instead.
+    """
+    if (
+        request.window_jobs > 1
+        and request.sampling is not None
+        and multiprocessing.parent_process() is None
+    ):
+        sharded = _execute_request_sharded(request, trace_dir)
+        if sharded is not None:
+            return sharded
     traces = workload_traces(
         request.isa, request.scale, request.seed, trace_dir
     )
@@ -414,6 +463,147 @@ def _pool_execute(args: tuple) -> dict:
         "result": result_to_dict(result),
         "attempt": attempt,
     }
+
+
+# ------------------------------------------------------------- window shards
+
+#: Resilience policy for intra-run window-shard execution.  Module-level
+#: because pool workers need it importable; :class:`Runner` installs its
+#: own policy here (last runner wins — acceptable for a process-wide
+#: execution knob, and tests monkeypatch it directly).
+_WINDOW_RESILIENCE = ResilienceConfig()
+
+#: Shard provenance drained by :meth:`Runner.run_batch` into BENCH:
+#: one ``{"fingerprint", "chunks", "window_jobs", "shard_seconds",
+#: "wall_seconds"}`` record per sharded point.
+_WINDOW_SHARD_LOG: list[dict] = []
+
+
+@dataclass(frozen=True)
+class _WindowShard:
+    """One window chunk of a sampled request, as a pool task.
+
+    Wraps the base request so the resilience layer can describe and
+    fingerprint it; the properties expose the fields
+    :func:`~repro.analysis.resilience.describe_request` reads.
+    """
+
+    base: RunRequest
+    index: int
+    n_chunks: int
+
+    @property
+    def isa(self) -> str:
+        return self.base.isa
+
+    @property
+    def n_threads(self) -> int:
+        return self.base.n_threads
+
+    @property
+    def memory(self) -> str:
+        return self.base.memory
+
+    @property
+    def fetch_policy(self) -> str:
+        return self.base.fetch_policy
+
+    @property
+    def scale(self) -> float:
+        return self.base.scale
+
+
+def _window_pool_execute(args: tuple) -> dict:
+    """Pool entry point for one window shard (mirrors `_pool_execute`)."""
+    shard, trace_dir, attempt, fingerprint = args
+    faultinject.fire_execution_fault(fingerprint, attempt)
+    request = shard.base
+    started = time.perf_counter()
+    traces = workload_traces(
+        request.isa, request.scale, request.seed, trace_dir
+    )
+    processor = SMTProcessor(
+        SMTConfig(
+            isa=request.isa,
+            n_threads=request.n_threads,
+            sampling=request.sampling,
+        ),
+        memory_factory(request.memory)(),
+        traces,
+        fetch_policy=FetchPolicy(request.fetch_policy),
+        completions_target=request.completions_target,
+    )
+    chunk = processor.run_sampled_chunk(shard.index, shard.n_chunks)
+    return {
+        "elapsed": time.perf_counter() - started,
+        "chunk": chunk,
+        "attempt": attempt,
+    }
+
+
+def _execute_request_sharded(
+    request: RunRequest, trace_dir: str | None = None
+) -> RunResult | None:
+    """Fan a sampled request's window chunks out over a process pool.
+
+    Returns ``None`` when the workload is too small to chunk (the
+    caller falls through to the plain serial path).  Shards execute
+    under the same resilience machinery as whole runs — per-shard
+    timeouts, retries, pool restarts — and merge in fixed chunk order,
+    so the result is bit-identical to the serial schedule no matter how
+    shards are scheduled or which of them had to retry.
+    """
+    traces = workload_traces(
+        request.isa, request.scale, request.seed, trace_dir
+    )
+    n_chunks = sampled_chunk_count(
+        request.sampling, traces, request.completions_target
+    )
+    if n_chunks <= 1:
+        return None
+    base_fingerprint = request.fingerprint()
+    shards = [
+        _WindowShard(base=request, index=index, n_chunks=n_chunks)
+        for index in range(n_chunks)
+    ]
+    chunks: dict[int, dict] = {}
+    shard_seconds = 0.0
+
+    def on_success(shard: _WindowShard, payload: dict) -> None:
+        nonlocal shard_seconds
+        # The same JSON round-trip the whole-run path applies: pooled
+        # and in-process shards hand identical plain data to the merge.
+        chunks[shard.index] = json.loads(json.dumps(payload["chunk"]))
+        shard_seconds += payload["elapsed"]
+
+    executor = ResilientExecutor(
+        _WINDOW_RESILIENCE,
+        min(request.window_jobs, n_chunks),
+        _window_pool_execute,
+        fingerprint_of=lambda shard: f"{base_fingerprint}/w{shard.index}",
+    )
+    started = time.perf_counter()
+    outcomes = executor.execute(shards, trace_dir, on_success)
+    if executor.failed or executor.aborted:
+        raise SweepFailure(outcomes, total=len(shards))
+    _WINDOW_SHARD_LOG.append(
+        {
+            "fingerprint": base_fingerprint,
+            "chunks": n_chunks,
+            "window_jobs": request.window_jobs,
+            "shard_seconds": shard_seconds,
+            "wall_seconds": time.perf_counter() - started,
+        }
+    )
+    return merge_sampled_chunks(
+        SMTConfig(
+            isa=request.isa,
+            n_threads=request.n_threads,
+            sampling=request.sampling,
+        ),
+        FetchPolicy(request.fetch_policy),
+        [chunks[index] for index in range(n_chunks)],
+    )
 
 
 def _instructions_of(result: RunResult) -> int:
@@ -459,6 +649,7 @@ class RunnerStats:
     failed_points: int = 0         # requests that failed permanently
     corrupt_quarantined: int = 0   # cache entries quarantined as corrupt
     cache_write_errors: int = 0    # results that could not be persisted
+    window_shards: int = 0         # window chunks executed for sharded points
 
     def snapshot(self) -> dict:
         return asdict(self)
@@ -490,6 +681,14 @@ class Runner:
         The :class:`~repro.analysis.resilience.ResilienceConfig`
         governing timeouts, retries and failure policy for cache-missing
         runs (default: no timeout, 4 attempts, salvage mode).
+    window_jobs:
+        Worker processes for each sampled run's window chunks
+        (intra-run parallelism; see ``RunRequest.window_jobs``).  ``1``
+        keeps the in-process serial schedule.  Complements ``jobs``:
+        use ``jobs`` when a sweep has many points in flight, and
+        ``window_jobs`` to cut the latency of a few large sampled
+        points — inside pool workers sharding auto-disables, so the
+        two never nest.
     """
 
     def __init__(
@@ -498,11 +697,20 @@ class Runner:
         cache_dir: str | None = None,
         version: str | None = None,
         resilience: ResilienceConfig | None = None,
+        window_jobs: int = 1,
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
         self.version = version
         self.resilience = resilience or ResilienceConfig()
+        self.window_jobs = max(1, int(window_jobs))
+        #: Shard provenance records drained from the module log after
+        #: each batch (one per sharded point; rides BENCH).
+        self.window_shard_events: list[dict] = []
+        # Shards execute through module-level machinery so pool workers
+        # can import it; install this runner's resilience policy there.
+        global _WINDOW_RESILIENCE
+        _WINDOW_RESILIENCE = self.resilience
         self.stats = RunnerStats()
         #: Per-request execution bookkeeping (status, attempts, failure
         #: records) for every request this runner had to execute.
@@ -646,9 +854,20 @@ class Runner:
             todo.append(request)
 
         if todo:
+            if self.window_jobs > 1:
+                # Equality/hash ignore window_jobs, so the rewritten
+                # requests stay valid keys for the memo and the result
+                # mapping returned to the caller.
+                todo = [
+                    replace(request, window_jobs=self.window_jobs)
+                    for request in todo
+                ]
             started = time.perf_counter()
             trace_dir = self.trace_dir
             version = self.version
+            # Stale shard events from direct execute_request callers
+            # must not be attributed to this batch.
+            del _WINDOW_SHARD_LOG[:]
 
             def on_success(request: RunRequest, payload: dict) -> None:
                 # Every result passes through the same round-trip the
@@ -676,6 +895,16 @@ class Runner:
                 fingerprint_of=lambda request: request.fingerprint(version),
             )
             outcomes = executor.execute(todo, trace_dir, on_success)
+            if _WINDOW_SHARD_LOG:
+                # Only the in-process path (jobs == 1) reaches the log:
+                # pool workers shard nothing, and their module state
+                # would not be visible here anyway.
+                events = list(_WINDOW_SHARD_LOG)
+                del _WINDOW_SHARD_LOG[:]
+                self.window_shard_events.extend(events)
+                self.stats.window_shards += sum(
+                    event["chunks"] for event in events
+                )
             self.stats.sim_seconds += time.perf_counter() - started
             self.stats.retries += executor.retries
             self.stats.timeouts += executor.timeouts

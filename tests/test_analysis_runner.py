@@ -69,6 +69,49 @@ class TestRunRequest:
             memory_factory("imaginary")
 
 
+class TestWindowJobsExemption:
+    """window_jobs is audited out of the fingerprint, not forgotten.
+
+    The sampled schedule chunks identically for every window_jobs value
+    (sampled_chunk_count is a pure function of config and workload) and
+    merges in fixed chunk order, so serial and sharded execution are
+    bit-identical — fingerprinting the knob would fork the result cache
+    on a pure execution strategy.  These tests pin that choice: the
+    exemption table stays honest, and equality/hash/fingerprint all
+    agree that two requests differing only in window_jobs are the same
+    simulation point.
+    """
+
+    def test_exempt_table_lists_real_request_fields(self):
+        from repro.analysis.runner import FINGERPRINT_EXEMPT_REQUEST_FIELDS
+
+        names = {field.name for field in dataclasses.fields(RunRequest)}
+        for name, rationale in FINGERPRINT_EXEMPT_REQUEST_FIELDS.items():
+            assert name in names, f"stale exemption entry {name!r}"
+            assert rationale and isinstance(rationale, str)
+        assert "window_jobs" in FINGERPRINT_EXEMPT_REQUEST_FIELDS
+
+    def test_window_jobs_not_in_fingerprint(self):
+        assert (
+            tiny(window_jobs=4).fingerprint("v") == tiny().fingerprint("v")
+        )
+
+    def test_window_jobs_not_in_equality_or_hash(self):
+        assert tiny(window_jobs=4) == tiny()
+        assert hash(tiny(window_jobs=4)) == hash(tiny())
+
+    def test_window_jobs_normalized(self):
+        assert tiny(window_jobs=0).window_jobs == 1
+        assert tiny(window_jobs="3").window_jobs == 3
+
+    def test_replace_preserves_identity(self):
+        request = tiny(sampling=(1000, 200, 50))
+        rewritten = dataclasses.replace(request, window_jobs=8)
+        assert rewritten == request
+        assert rewritten.window_jobs == 8
+        assert rewritten.fingerprint("v") == request.fingerprint("v")
+
+
 class TestResultRoundTrip:
     def test_lossless(self):
         result = execute_request(tiny())

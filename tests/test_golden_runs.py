@@ -7,6 +7,7 @@ diff table when any metric leaves its tolerance band.  Regenerate after
 a *deliberate* modelling change with ``scripts/update_goldens.py``.
 """
 
+import hashlib
 import json
 import os
 
@@ -75,6 +76,75 @@ def test_table3_is_deterministic_and_tight(runner):
 def test_unknown_experiment_rejected():
     with pytest.raises(ValueError, match="unknown golden experiment"):
         compute_golden_metrics("fig99")
+
+
+# ----- sharded-vs-serial sampled pins ----------------------------------------
+
+
+def load_bitident():
+    with open(os.path.join(GOLDEN_DIR, "bitident.json")) as handle:
+        return json.load(handle)
+
+
+def canonical_sha256(result):
+    from repro.analysis.runner import result_to_dict
+
+    blob = json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(load_bitident()["sharded_runs"]))
+def test_sharded_sampled_runs_reproduce_serial_hashes(name):
+    """window_jobs > 1 must reproduce the pinned serial hash exactly.
+
+    Runs each pinned configuration twice — the serial schedule and a
+    two-worker sharded one — and asserts both match the recorded
+    canonical hash: same samples, same CI inputs, same everything.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.runner import (
+        RunRequest,
+        execute_request,
+        workload_traces,
+    )
+    from repro.core.smt import sampled_chunk_count
+
+    pinned = load_bitident()["sharded_runs"][name]
+    request = RunRequest(**pinned["request"])
+    traces = workload_traces(request.isa, request.scale, request.seed)
+    n_chunks = sampled_chunk_count(
+        request.sampling, traces, request.completions_target
+    )
+    assert n_chunks == pinned["n_chunks"], (
+        "the pinned configuration no longer chunks as recorded — the "
+        "sharded pins must exercise a genuinely multi-chunk schedule"
+    )
+    assert n_chunks > 1
+
+    serial = execute_request(request)
+    assert canonical_sha256(serial) == pinned["result_sha256"]
+    assert serial.cycles == pinned["cycles"]
+    assert serial.committed_instructions == pinned["committed_instructions"]
+
+    sharded = execute_request(replace(request, window_jobs=2))
+    assert canonical_sha256(sharded) == pinned["result_sha256"]
+
+
+def test_sharded_pins_pin_their_fingerprints():
+    # Frozen under the pinned version so unrelated source edits don't
+    # churn this file — only a deliberate request-schema change does.
+    document = load_bitident()
+    from repro.analysis.runner import RunRequest
+
+    for name, pinned in document["sharded_runs"].items():
+        request = RunRequest(**pinned["request"])
+        assert (
+            request.fingerprint(document["pinned_version"])
+            == pinned["fingerprint_pinned"]
+        ), name
 
 
 # ----- the comparator itself -------------------------------------------------
