@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI smoke test for the flat pipeline engine's equivalence contract.
+
+Runs the flat engine (``SMTConfig(backend="flat")``, pure-Python kernel
+unless the optional compiled module is installed) against the strongest
+references the repo pins and demands *exact* agreement:
+
+1. **bit-identity pins** — every configuration recorded in
+   ``tests/golden/bitident.json`` (full-detail and sampled, 1T and 8T,
+   both ISAs) is re-run under the flat engine through a cold cache and
+   must reproduce the pinned canonical ``result_sha256`` — the flat
+   engine may not move any result by a single bit.
+2. **golden metrics** — all four golden experiments (table3, fig4,
+   fig6, fig8) are recomputed with a flat-backend runner and every
+   metric must equal its golden value exactly (no tolerance bands: the
+   simulator is deterministic, so on a correct engine the values are
+   equal, not merely close).
+
+Exit status: 0 on success, 1 on any divergence.
+
+Usage:  python scripts/backend_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.goldens import (  # noqa: E402
+    EXPERIMENTS,
+    compute_golden_metrics,
+    golden_path,
+)
+from repro.analysis.runner import (  # noqa: E402
+    Runner,
+    RunRequest,
+    result_to_dict,
+)
+from repro.core.engine_flat import COMPILED  # noqa: E402
+
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+BITIDENT = os.path.join(GOLDEN_DIR, "bitident.json")
+
+
+def canonical_sha256(result) -> str:
+    blob = json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def pin_request(entry: dict) -> RunRequest:
+    request = dict(entry["request"])
+    if request.get("sampling") is not None:
+        request["sampling"] = tuple(request["sampling"])
+    return RunRequest(**request)
+
+
+def main() -> int:
+    kernel = "compiled" if COMPILED else "pure-python"
+    print(f"backend smoke: flat engine, {kernel} kernel")
+    scratch = tempfile.mkdtemp(prefix="backend_smoke_")
+    failures = 0
+    try:
+        with open(BITIDENT) as handle:
+            document = json.load(handle)
+        pins = dict(document["runs"])
+        pins.update(document.get("sharded_runs", {}))
+
+        runner = Runner(
+            cache_dir=os.path.join(scratch, "pins"), backend="flat"
+        )
+        for name, entry in pins.items():
+            result = runner.run(pin_request(entry))
+            digest = canonical_sha256(result)
+            if digest == entry["result_sha256"]:
+                print(f"  [ok] pin {name}: {digest[:16]}")
+            else:
+                failures += 1
+                print(
+                    f"  [FAIL] pin {name}: flat engine hashed "
+                    f"{digest[:16]}, pinned {entry['result_sha256'][:16]}"
+                )
+
+        checked = 0
+        golden_runner = Runner(
+            cache_dir=os.path.join(scratch, "golden"), backend="flat"
+        )
+        for experiment in EXPERIMENTS:
+            with open(golden_path(experiment, GOLDEN_DIR)) as handle:
+                golden = json.load(handle)
+            measured = compute_golden_metrics(
+                experiment, golden_runner, float(golden["scale"])
+            )
+            mismatched = [
+                name
+                for name, metric in golden["metrics"].items()
+                if measured[name]["value"] != metric["value"]
+            ]
+            checked += len(golden["metrics"])
+            if mismatched:
+                failures += len(mismatched)
+                for name in mismatched:
+                    print(
+                        f"  [FAIL] golden {experiment}.{name}: flat "
+                        f"engine measured {measured[name]['value']!r}, "
+                        f"golden {golden['metrics'][name]['value']!r}"
+                    )
+            else:
+                print(
+                    f"  [ok] golden {experiment}: "
+                    f"{len(golden['metrics'])} metrics exact"
+                )
+
+        if failures:
+            print(
+                f"backend smoke: {failures} divergence(s) — the flat "
+                "engine broke the bit-identity contract"
+            )
+            return 1
+        print(
+            f"backend smoke OK: {len(pins)} pins reproduced, "
+            f"{checked} golden metrics exact ({kernel} kernel)"
+        )
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Build the optional compiled kernel for the flat pipeline engine.
+
+Compiles ``src/repro/core/_flatstep.py`` into an extension module
+``repro.core._flatstep_c`` (a ``.so``/``.pyd`` next to the source),
+which ``repro.core.engine_flat`` picks up at import time — and which
+flips ``backend="auto"`` from the object engine to the flat one.
+
+The compiler is optional tooling (``pip install .[compiled]``); this
+script degrades to a no-op exit 0 with a notice when neither mypyc nor
+Cython is importable, so CI can always run it best-effort.  The
+pure-Python kernel remains the reference: the compiled module is a
+transparent drop-in whose output must stay bit-identical
+(``scripts/backend_smoke.py`` enforces that after every build).
+
+Exit status: 0 on a successful build or when no compiler is available,
+1 when a compiler was found but the build failed.
+
+Usage:  python scripts/build_flat_backend.py [--compiler mypyc|cython]
+            [--force]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORE_DIR = os.path.join(REPO_ROOT, "src", "repro", "core")
+KERNEL_SOURCE = os.path.join(CORE_DIR, "_flatstep.py")
+MODULE_NAME = "_flatstep_c"
+
+
+def have(module: str) -> bool:
+    try:
+        __import__(module)
+        return True
+    except ImportError:
+        return False
+
+
+def built_artifacts() -> list[str]:
+    return glob.glob(os.path.join(CORE_DIR, f"{MODULE_NAME}*.so")) + glob.glob(
+        os.path.join(CORE_DIR, f"{MODULE_NAME}*.pyd")
+    )
+
+
+def build_with_cython(workdir: str) -> list[str]:
+    """Cythonize a renamed copy of the kernel and return built files."""
+    source = os.path.join(workdir, f"{MODULE_NAME}.py")
+    shutil.copyfile(KERNEL_SOURCE, source)
+    setup = os.path.join(workdir, "setup.py")
+    with open(setup, "w") as handle:
+        handle.write(
+            "from setuptools import setup\n"
+            "from Cython.Build import cythonize\n"
+            f"setup(ext_modules=cythonize([{source!r}], language_level=3))\n"
+        )
+    subprocess.run(
+        [sys.executable, setup, "build_ext", "--inplace"],
+        cwd=workdir,
+        check=True,
+    )
+    return glob.glob(os.path.join(workdir, f"{MODULE_NAME}*.so")) + glob.glob(
+        os.path.join(workdir, f"{MODULE_NAME}*.pyd")
+    )
+
+
+def build_with_mypyc(workdir: str) -> list[str]:
+    """Compile a renamed copy of the kernel with mypyc."""
+    source = os.path.join(workdir, f"{MODULE_NAME}.py")
+    shutil.copyfile(KERNEL_SOURCE, source)
+    setup = os.path.join(workdir, "setup.py")
+    with open(setup, "w") as handle:
+        handle.write(
+            "from setuptools import setup\n"
+            "from mypyc.build import mypycify\n"
+            f"setup(ext_modules=mypycify([{source!r}]))\n"
+        )
+    subprocess.run(
+        [sys.executable, setup, "build_ext", "--inplace"],
+        cwd=workdir,
+        check=True,
+    )
+    return glob.glob(os.path.join(workdir, f"{MODULE_NAME}*.so")) + glob.glob(
+        os.path.join(workdir, f"{MODULE_NAME}*.pyd")
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compiler",
+        choices=("mypyc", "cython"),
+        default=None,
+        help="force one compiler instead of auto-detecting "
+        "(mypyc preferred, then Cython)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when a compiled module already exists",
+    )
+    args = parser.parse_args(argv)
+
+    existing = built_artifacts()
+    if existing and not args.force:
+        print(f"compiled kernel already present: {existing[0]} (use --force)")
+        return 0
+
+    modules = {"mypyc": "mypyc", "cython": "Cython"}
+    if args.compiler:
+        compiler = args.compiler if have(modules[args.compiler]) else None
+    else:
+        compiler = (
+            "mypyc" if have("mypyc") else "cython" if have("Cython") else None
+        )
+    if compiler is None:
+        wanted = modules[args.compiler] if args.compiler else "mypyc nor Cython"
+        print(
+            f"no compiler available ({wanted} is not installed); "
+            "skipping the compiled kernel build — the pure-Python flat "
+            "kernel stays in use. Install with pip install .[compiled] "
+            "to enable this step."
+        )
+        return 0
+
+    workdir = tempfile.mkdtemp(prefix="flatstep_build_")
+    try:
+        build = build_with_mypyc if compiler == "mypyc" else build_with_cython
+        try:
+            artifacts = build(workdir)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            print(f"FAIL: {compiler} build of {KERNEL_SOURCE} failed: {exc}")
+            return 1
+        if not artifacts:
+            print(f"FAIL: {compiler} build produced no extension module")
+            return 1
+        for stale in built_artifacts():
+            os.remove(stale)
+        destination = os.path.join(CORE_DIR, os.path.basename(artifacts[0]))
+        shutil.copyfile(artifacts[0], destination)
+        print(f"built {destination} with {compiler}")
+
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.core.engine_flat import COMPILED; "
+                "import sys; sys.exit(0 if COMPILED else 1)",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    p
+                    for p in (
+                        os.path.join(REPO_ROOT, "src"),
+                        os.environ.get("PYTHONPATH"),
+                    )
+                    if p
+                ),
+            },
+        )
+        if probe.returncode != 0:
+            print(
+                "FAIL: engine_flat did not pick up the compiled module "
+                "(COMPILED is still False)"
+            )
+            return 1
+        print("engine_flat reports COMPILED=True; backend='auto' now "
+              "selects the flat engine")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,22 @@
 Runs ``scripts/run_experiments.py`` four times against scratch cache
 directories and asserts the resilience layer's headline guarantees:
 
-1. **baseline** — a fault-free cold sweep records the reference report.
+1. **baseline** — a fault-free cold sweep records the reference report
+   (object engine).
 2. **chaos cold** — the same sweep under deterministic fault injection
    (default: 20 % worker crashes, 10 % hangs killed by the ``--timeout``
-   watchdog, 25 % corrupted cache writes) must complete unattended with
-   a bit-identical report, and its provenance must show faults were
-   actually handled (retries/timeouts/pool restarts > 0).
-3. **chaos warm** — rerunning on the chaos cache with injection off must
-   quarantine the corrupt entries, recompute only those points, match
-   the reference report again, and leave a cache with zero corrupt
-   entries.
+   watchdog, 25 % corrupted cache writes), run with ``--backend flat``,
+   must complete unattended with a bit-identical report, and its
+   provenance must show faults were actually handled
+   (retries/timeouts/pool restarts > 0).  Matching the object-engine
+   baseline byte-for-byte also proves the flat engine's bit-identity
+   under faults.
+3. **chaos warm** — rerunning on the chaos cache with injection off
+   (and the default object engine) must quarantine the corrupt entries,
+   recompute only those points — served alongside the flat engine's
+   surviving entries, exercising the shared cross-backend cache slot —
+   match the reference report again, and leave a cache with zero
+   corrupt entries.
 4. **SIGKILL resume** — a fresh sweep is SIGKILLed mid-flight; the rerun
    must serve every already-completed point from the cache (verified
    via the run-provenance counters), resume from the figure checkpoint,
@@ -159,7 +165,10 @@ def main(argv=None) -> int:
         run_sweep(args, baseline_cache, baseline_report)
         reference = canonical_report(baseline_report)
 
-        print("\n== phase 2: cold sweep under fault injection ==")
+        print(
+            "\n== phase 2: cold sweep under fault injection "
+            "(flat engine) =="
+        )
         plan = FaultPlan(
             seed=args.seed,
             crash_fraction=args.crash,
@@ -171,7 +180,8 @@ def main(argv=None) -> int:
         chaos_env[ENV_VAR] = plan.to_json()
         bench = run_sweep(
             args, chaos_cache, chaos_report,
-            env=chaos_env, extra=("--timeout", repr(args.timeout)),
+            env=chaos_env,
+            extra=("--timeout", repr(args.timeout), "--backend", "flat"),
         )
         stats = bench["runner"]
         handled = (
@@ -184,7 +194,8 @@ def main(argv=None) -> int:
         )
         check(
             canonical_report(chaos_report) == reference,
-            "chaos report is bit-identical to the fault-free report",
+            "chaos flat-engine report is bit-identical to the fault-free "
+            "object-engine report",
             failures,
         )
         check(

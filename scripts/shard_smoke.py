@@ -2,17 +2,21 @@
 """CI smoke test for window-sharded sampled execution.
 
 Runs one sampled simulation point that genuinely chunks
-(``sampled_chunk_count > 1``), first under the serial schedule through a
-cold cache, then window-sharded (``window_jobs=2``) through a second
-cold cache, and asserts:
+(``sampled_chunk_count > 1``) through the full (backend x window_jobs)
+matrix — the object and flat engines, each under the serial and
+window-sharded (``window_jobs=2``) schedules, every cell through its
+own cold cache — and asserts:
 
-1. the sharded run actually fanned out (shard provenance events with
+1. the sharded runs actually fanned out (shard provenance events with
    more than one chunk),
-2. both schedules produce the same canonical result hash — intra-run
-   parallelism must never move a result by a single bit,
-3. the sharded runner hits the serial runner's cache entry when pointed
-   at it (``window_jobs`` is exempt from the fingerprint, so the two
-   schedules share one cache slot and a warm rerun simulates nothing).
+2. all four cells produce the same canonical result hash — neither
+   intra-run parallelism nor the engine choice may move a result by a
+   single bit,
+3. a warm rerun pointed at the flat engine's serial cache, but asking
+   for the object backend window-sharded, hits that cache entry
+   (``backend`` and ``window_jobs`` are both exempt from the
+   fingerprint, so the whole matrix shares one cache slot and the warm
+   rerun simulates nothing).
 
 Exit status: 0 on success, 1 on any violated invariant.
 
@@ -62,9 +66,6 @@ def canonical_sha256(result) -> str:
 def main() -> int:
     scratch = tempfile.mkdtemp(prefix="shard_smoke_")
     try:
-        serial_cache = os.path.join(scratch, "serial")
-        sharded_cache = os.path.join(scratch, "sharded")
-
         traces = workload_traces(
             REQUEST.isa, REQUEST.scale, REQUEST.seed,
             os.path.join(scratch, "traces"),
@@ -80,50 +81,73 @@ def main() -> int:
             )
             return 1
 
-        serial_runner = Runner(cache_dir=serial_cache)
-        serial = serial_runner.run(REQUEST)
-        serial_hash = canonical_sha256(serial)
+        hashes = {}
+        wall = 0.0
+        for backend in ("object", "flat"):
+            for window_jobs in (1, 2):
+                cache = os.path.join(scratch, f"{backend}_{window_jobs}")
+                runner = Runner(
+                    cache_dir=cache,
+                    window_jobs=window_jobs,
+                    backend=backend,
+                )
+                result = runner.run_batch([REQUEST])[REQUEST]
+                hashes[(backend, window_jobs)] = canonical_sha256(result)
+                if window_jobs == 2:
+                    shards = runner.stats.window_shards
+                    if shards != n_chunks:
+                        print(
+                            f"FAIL: sharded {backend} run reported "
+                            f"{shards} window shards, expected {n_chunks} "
+                            "— the request did not fan out"
+                        )
+                        return 1
+                    wall += sum(
+                        event["wall_seconds"]
+                        for event in runner.window_shard_events
+                    )
 
-        sharded_runner = Runner(cache_dir=sharded_cache, window_jobs=2)
-        sharded = sharded_runner.run_batch([REQUEST])[REQUEST]
-        sharded_hash = canonical_sha256(sharded)
-
-        shards = sharded_runner.stats.window_shards
-        if shards != n_chunks:
+        reference = hashes[("object", 1)]
+        divergent = {
+            cell: digest
+            for cell, digest in hashes.items()
+            if digest != reference
+        }
+        if divergent:
             print(
-                f"FAIL: sharded run reported {shards} window shards, "
-                f"expected {n_chunks} — the request did not fan out"
+                "FAIL: bit-identity broken across the "
+                "(backend x window_jobs) matrix — reference "
+                f"object/serial {reference[:16]}, divergent: "
+                + ", ".join(
+                    f"{backend}/window_jobs={jobs} {digest[:16]}"
+                    for (backend, jobs), digest in sorted(divergent.items())
+                )
             )
             return 1
-        if sharded_hash != serial_hash:
-            print(
-                "FAIL: bit-identity broken — serial and window-sharded "
-                f"schedules diverge ({serial_hash[:16]} vs "
-                f"{sharded_hash[:16]})"
-            )
-            return 1
 
-        # The schedules share one cache slot: a sharded runner pointed
-        # at the serial cache must hit it, not resimulate.
-        warm = Runner(cache_dir=serial_cache, window_jobs=2)
+        # The whole matrix shares one cache slot: an object-backend
+        # sharded runner pointed at the flat engine's serial cache must
+        # hit it, not resimulate.
+        warm = Runner(
+            cache_dir=os.path.join(scratch, "flat_1"),
+            window_jobs=2,
+            backend="object",
+        )
         warm.run_batch([REQUEST])
         if warm.stats.simulated != 0 or warm.stats.disk_hits != 1:
             print(
-                "FAIL: sharded runner missed the serial cache entry "
-                f"(simulated={warm.stats.simulated}, "
-                f"disk_hits={warm.stats.disk_hits}) — window_jobs leaked "
-                "into the fingerprint"
+                "FAIL: object-backend sharded runner missed the flat "
+                f"serial cache entry (simulated={warm.stats.simulated}, "
+                f"disk_hits={warm.stats.disk_hits}) — backend or "
+                "window_jobs leaked into the fingerprint"
             )
             return 1
 
-        wall = sum(
-            event["wall_seconds"]
-            for event in sharded_runner.window_shard_events
-        )
         print(
-            f"shard smoke OK: {n_chunks} chunks, window_jobs=2, "
-            f"hash {serial_hash[:16]} identical serial/sharded, "
-            f"warm cache shared ({wall:.2f} s sharded wall)"
+            f"shard smoke OK: {n_chunks} chunks, "
+            f"hash {reference[:16]} identical across "
+            "{object,flat} x {window_jobs=1,2}, "
+            f"warm cache shared cross-backend ({wall:.2f} s sharded wall)"
         )
         return 0
     finally:

@@ -281,6 +281,14 @@ FINGERPRINT_EXEMPT_REQUEST_FIELDS = {
         "fingerprinting it would fork the result cache on a pure "
         "execution-strategy knob"
     ),
+    "backend": (
+        "measurement-invariant by contract: the flat engine "
+        "(repro.core.engine_flat) is bit-identical to the object engine "
+        "— same canonical hash, same sampled chunk schedule — pinned by "
+        "the cross-backend golden suite (tests/test_engine_flat.py), so "
+        "both backends share one runcache slot; fingerprinting it would "
+        "fork the result cache on a pure execution-strategy knob"
+    ),
 }
 
 
@@ -313,8 +321,20 @@ class RunRequest:
     #: ``FINGERPRINT_EXEMPT_REQUEST_FIELDS``).  Ignored for non-sampled
     #: runs and for workloads too small to chunk.
     window_jobs: int = field(default=1, compare=False)
+    #: Pipeline engine (``SMTConfig.backend``): ``"object"``, ``"flat"``
+    #: or ``"auto"``.  An execution-strategy knob like ``window_jobs``
+    #: — the flat engine is bit-identical by contract — so it is
+    #: excluded from equality/hash (both backends are the *same*
+    #: simulation point; memo and cache must agree) and from the
+    #: fingerprint (see ``FINGERPRINT_EXEMPT_REQUEST_FIELDS``).
+    backend: str = field(default="auto", compare=False)
 
     def __post_init__(self):
+        if self.backend not in ("object", "flat", "auto"):
+            raise ValueError(
+                "backend must be 'object', 'flat' or 'auto', "
+                f"not {self.backend!r}"
+            )
         # Normalize enum-typed policies so RunRequest("mmx", 1,
         # fetch_policy=FetchPolicy.RR) and the string form are the same
         # request (and hash identically).
@@ -435,6 +455,7 @@ def execute_request(
             isa=request.isa,
             n_threads=request.n_threads,
             sampling=request.sampling,
+            backend=request.backend,
         ),
         memory_factory(request.memory)(),
         traces,
@@ -527,6 +548,7 @@ def _window_pool_execute(args: tuple) -> dict:
             isa=request.isa,
             n_threads=request.n_threads,
             sampling=request.sampling,
+            backend=request.backend,
         ),
         memory_factory(request.memory)(),
         traces,
@@ -689,6 +711,13 @@ class Runner:
         ``window_jobs`` to cut the latency of a few large sampled
         points — inside pool workers sharding auto-disables, so the
         two never nest.
+    backend:
+        Pipeline engine override applied to every executed request
+        (``"object"``, ``"flat"`` or ``"auto"``; see
+        ``RunRequest.backend``).  ``None`` (default) leaves each
+        request's own setting.  Like ``window_jobs``, a pure
+        execution-strategy knob: results are bit-identical either way
+        and share one cache slot.
     """
 
     def __init__(
@@ -698,12 +727,19 @@ class Runner:
         version: str | None = None,
         resilience: ResilienceConfig | None = None,
         window_jobs: int = 1,
+        backend: str | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
         self.version = version
         self.resilience = resilience or ResilienceConfig()
         self.window_jobs = max(1, int(window_jobs))
+        if backend not in (None, "object", "flat", "auto"):
+            raise ValueError(
+                "backend must be None, 'object', 'flat' or 'auto', "
+                f"not {backend!r}"
+            )
+        self.backend = backend
         #: Shard provenance records drained from the module log after
         #: each batch (one per sharded point; rides BENCH).
         self.window_shard_events: list[dict] = []
@@ -860,6 +896,14 @@ class Runner:
                 # mapping returned to the caller.
                 todo = [
                     replace(request, window_jobs=self.window_jobs)
+                    for request in todo
+                ]
+            if self.backend is not None:
+                # Same contract as window_jobs: backend is excluded from
+                # equality/hash, so rewritten requests remain the keys
+                # the caller and the memo agree on.
+                todo = [
+                    replace(request, backend=self.backend)
                     for request in todo
                 ]
             started = time.perf_counter()

@@ -1,0 +1,198 @@
+"""Table-driven flat-buffer pipeline engine (``backend="flat"``).
+
+:class:`FlatSMTProcessor` is a drop-in engine for
+:class:`~repro.core.smt.SMTProcessor` whose per-cycle architectural
+state lives in preallocated flat buffers indexed by integer slot ids
+instead of per-instruction Python objects.  The cycle kernel itself is
+:func:`repro.core._flatstep.flat_step` — a module-level function so the
+optional compiled build (``pip install .[compiled]`` +
+``scripts/build_flat_backend.py``) can replace it with a
+mypyc/Cython-compiled ``repro.core._flatstep_c`` without compiling the
+interpreted class hierarchy.
+
+Selection is driven by :attr:`SMTConfig.backend
+<repro.core.params.SMTConfig>`:
+
+* ``"object"`` — always the reference object engine.
+* ``"flat"`` — this engine (pure-Python kernel when the compiled
+  module is absent).
+* ``"auto"`` (default) — this engine only when the compiled kernel is
+  installed, else the object engine; a missing or broken compiled
+  build degrades cleanly with no behavior change (the contract is
+  bit-identity either way).
+
+Runs with ``sanitize=True`` or ``observe`` set always use the object
+engine: the sanitizer/observer hooks exist only there, and silently
+dropping events would be worse than the overhead the flat engine
+removes.  The forced fallback lives in ``SMTProcessor.__new__`` and is
+audited by ``tests/test_engine_flat.py``; see docs/MODEL.md
+("Compiled backend").
+
+Everything outside ``step()`` — the run drivers, sampled-chunk
+schedule, fast-forward, drain, result assembly — is inherited
+unchanged from the object engine and operates on the same shared
+structures (issue queues, graduation window, thread contexts), which
+the flat kernel keeps bit-exactly in sync.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.core.smt import _RENAME_SLOTS, SMTProcessor, ThreadContext
+from repro.isa.registers import RegisterClass
+from repro.tracegen.program import Trace
+
+try:  # pragma: no cover - exercised via subprocess in the fallback test
+    from repro.core._flatstep_c import flat_step as _flat_step
+
+    COMPILED = True
+except ImportError:
+    from repro.core._flatstep import flat_step as _flat_step
+
+    COMPILED = False
+
+from repro.core._flatstep import trace_tables
+
+
+def resolve_flat_engine(backend: str) -> type | None:
+    """Engine class for ``backend``, or ``None`` for the object engine.
+
+    ``"flat"`` always selects :class:`FlatSMTProcessor` (pure-Python
+    kernel if need be); ``"auto"`` selects it only when the compiled
+    kernel imported successfully.
+    """
+    if backend == "flat" or (backend == "auto" and COMPILED):
+        return FlatSMTProcessor
+    return None
+
+
+class FlatThreadContext(ThreadContext):
+    """Thread context whose rename map and trace views are flat tables.
+
+    The rename map holds integer slot ids with ``-1`` for "no live
+    producer" (the object engine holds ``InFlight`` references with
+    ``None``), and each assigned trace is mirrored by the memoized
+    per-instruction tuples from :func:`repro.core._flatstep.trace_tables`
+    so the kernel never reads ``Instruction`` attributes.
+    """
+
+    __slots__ = (
+        "t_ops",
+        "t_pcs",
+        "t_dsts",
+        "t_srcs",
+        "t_addrs",
+        "t_strides",
+        "t_weights",
+        "t_takens",
+        "t_br",
+        "t_simd",
+    )
+
+    def __init__(self, index: int):
+        super().__init__(index)
+        self.rename = [-1] * _RENAME_SLOTS
+        self.t_ops = ()
+        self.t_pcs = ()
+        self.t_dsts = ()
+        self.t_srcs = ()
+        self.t_addrs = ()
+        self.t_strides = ()
+        self.t_weights = ()
+        self.t_takens = ()
+        self.t_br = ()
+        self.t_simd = ()
+
+    def assign(self, trace: Trace) -> None:
+        super().assign(trace)
+        self.rename = [-1] * _RENAME_SLOTS
+        (
+            _,
+            self.t_ops,
+            self.t_pcs,
+            self.t_dsts,
+            self.t_srcs,
+            self.t_addrs,
+            self.t_strides,
+            self.t_weights,
+            self.t_takens,
+            self.t_br,
+            self.t_simd,
+        ) = trace_tables(trace)
+
+
+class FlatSMTProcessor(SMTProcessor):
+    """SMT processor with the flat-buffer cycle kernel.
+
+    Construction, run drivers and result assembly are inherited; only
+    the per-cycle ``step()`` and the state it touches are replaced.
+    Slot tables are sized to the graduation window: dispatch is gated
+    on window occupancy, and every dispatched instruction occupies
+    exactly one window entry until commit, so live slots can never
+    exceed the window capacity and the free list can never underflow.
+    """
+
+    def __init__(self, config, memory, traces, *args, **kwargs):
+        if config.sanitize or (
+            config.observe is not None and config.observe is not False
+        ):
+            raise ValueError(
+                "the flat engine has no sanitizer/observer hooks; "
+                "sanitize/observe runs must use the object engine "
+                "(SMTConfig(backend='object'), which backend='auto'/'flat' "
+                "dispatch already forces for such configs)"
+            )
+        super().__init__(config, memory, traces, *args, **kwargs)
+        self._flatten_threads()
+        self._build_flat_state()
+
+    def _flatten_threads(self) -> None:
+        """Swap freshly-built ThreadContexts for flat equivalents.
+
+        Only valid right after construction or ``_reset_run_state``,
+        when every context is at its pristine post-``assign`` state
+        (``fetch_idx`` 0, decode empty, nothing in flight) — the swap
+        re-runs ``assign`` on the same trace, which reproduces that
+        state exactly.
+        """
+        flat = []
+        for ctx in self.threads:
+            fctx = FlatThreadContext(ctx.index)
+            if ctx.trace is not None:
+                fctx.assign(ctx.trace)
+            flat.append(fctx)
+        self.threads = flat
+
+    def _build_flat_state(self) -> None:
+        capacity = self.window.capacity
+        zeros = array("q", [0]) * capacity
+        #: per-slot scalar state: 64-bit signed flat buffers.
+        self._slot_state = array("q", zeros)
+        self._slot_deps = array("q", zeros)
+        self._slot_mispredicted = array("q", zeros)
+        self._slot_thread = array("q", zeros)
+        self._slot_dst = array("q", zeros)
+        self._slot_weight = array("q", zeros)
+        self._slot_addr = array("q", zeros)
+        self._slot_stride = array("q", zeros)
+        #: per-slot object state: opcode enum, issue-queue reference,
+        #: and the reused (cleared-on-complete) waiter lists.
+        self._slot_op = [None] * capacity
+        self._slot_queue = [None] * capacity
+        self._slot_waiters = [[] for _ in range(capacity)]
+        self._free_slots = list(range(capacity - 1, -1, -1))
+        #: rename pools as a flat list indexed by the register class
+        #: (the object engine's ``pools`` dict stays untouched/unused).
+        table = [0] * len(RegisterClass)
+        for cls, count in self.config.resources.rename_regs.items():
+            table[cls] = count
+        self._pool_table = table
+
+    def _reset_run_state(self) -> None:
+        super()._reset_run_state()
+        self._flatten_threads()
+        self._build_flat_state()
+
+    def step(self) -> bool:
+        return _flat_step(self)

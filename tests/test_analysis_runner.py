@@ -112,6 +112,48 @@ class TestWindowJobsExemption:
         assert rewritten.fingerprint("v") == request.fingerprint("v")
 
 
+class TestBackendExemption:
+    """backend is audited out of the fingerprint, not forgotten.
+
+    The flat and object engines are bit-identical by contract
+    (tests/test_engine_flat.py pins it against golden hashes), so the
+    engine choice is a pure execution strategy: fingerprinting it would
+    fork the result cache on a knob that cannot move a result.  These
+    tests mirror the window_jobs exemption above — the exemption table
+    stays honest, and equality/hash/fingerprint all agree that two
+    requests differing only in backend are the same simulation point.
+    """
+
+    def test_backend_in_exempt_table(self):
+        from repro.analysis.runner import FINGERPRINT_EXEMPT_REQUEST_FIELDS
+
+        assert "backend" in FINGERPRINT_EXEMPT_REQUEST_FIELDS
+
+    def test_backend_not_in_fingerprint(self):
+        assert (
+            tiny(backend="flat").fingerprint("v") == tiny().fingerprint("v")
+        )
+
+    def test_backend_not_in_equality_or_hash(self):
+        assert tiny(backend="flat") == tiny(backend="object")
+        assert hash(tiny(backend="flat")) == hash(tiny(backend="object"))
+
+    def test_backend_validated(self):
+        with pytest.raises(ValueError, match="backend"):
+            tiny(backend="vectorized")
+
+    def test_replace_preserves_identity(self):
+        request = tiny(sampling=(1000, 200, 50))
+        rewritten = dataclasses.replace(request, backend="flat")
+        assert rewritten == request
+        assert rewritten.backend == "flat"
+        assert rewritten.fingerprint("v") == request.fingerprint("v")
+
+    def test_runner_backend_override_validated(self):
+        with pytest.raises(ValueError, match="backend"):
+            Runner(backend="vectorized")
+
+
 class TestResultRoundTrip:
     def test_lossless(self):
         result = execute_request(tiny())

@@ -68,6 +68,170 @@ class TestCheckHotloopGuards:
         assert "optimized_speedup" in out
 
 
+class TestSampledPointCoreCountSkip:
+    """The sharded latency check only runs on a matching core count.
+
+    The baseline's sharded curve was recorded on a known core count
+    (``cpu_count`` in results/hotloop_baseline.json); on any other
+    machine the pool-dispatch-vs-parallelism tradeoff differs, so the
+    sharded comparison is skipped with a notice while the serial curve
+    and the bit-identity check still run.
+    """
+
+    BASELINE = {
+        "cpu_count": 1,
+        "sampled_point": {
+            "config": {"window_jobs": 4},
+            "serial_seconds": 2.0,
+            "sharded_seconds": 3.0,
+            "calibration_seconds": 0.1,
+            "cores_recorded": 1,
+        },
+    }
+
+    def record(self, cores, sharded_seconds=3.0):
+        return {
+            "config": {"window_jobs": 4},
+            "chunks": 8,
+            "cores": cores,
+            "identical": True,
+            "machine_factor": 1.0,
+            "baseline_serial_seconds": 2.0,
+            "baseline_sharded_seconds": 3.0,
+            "serial_seconds": 2.0,
+            "sharded_seconds": sharded_seconds,
+            "shard_speedup": 2.0 / sharded_seconds,
+        }
+
+    def run_check(self, monkeypatch, record):
+        monkeypatch.setattr(
+            check_hotloop, "measure_sampled_point", lambda runner: record
+        )
+        return check_hotloop.check_sampled_point(
+            None, self.BASELINE, max_regression=0.25
+        )
+
+    def test_matching_cores_checks_both_curves(
+        self, monkeypatch, capsys
+    ):
+        status = self.run_check(monkeypatch, self.record(cores=1))
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "[serial]" in out and "[sharded]" in out
+        assert "skipped" not in out
+
+    def test_mismatched_cores_skips_only_the_sharded_curve(
+        self, monkeypatch, capsys
+    ):
+        # A wildly regressed sharded time must NOT fail on a 4-core
+        # box when the baseline was recorded on 1 core.
+        status = self.run_check(
+            monkeypatch, self.record(cores=4, sharded_seconds=50.0)
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "latency check skipped" in out
+        assert "[serial]" in out
+        assert "4 cores" in out and "recorded on 1" in out
+
+    def test_mismatched_cores_still_guards_serial_and_identity(
+        self, monkeypatch, capsys
+    ):
+        record = self.record(cores=4)
+        record["identical"] = False
+        assert self.run_check(monkeypatch, record) == 1
+        assert "BIT-IDENTITY BROKEN" in capsys.readouterr().out
+
+
+class TestCheckFlatBackendGuards:
+    BASELINE = {
+        "cycles": 30572,
+        "flat_backend": {
+            "flat_seconds": 1.1,
+            "calibration_seconds": 0.1,
+            "compiled": False,
+            "target_speedup_vs_prepr2": 5.0,
+        },
+    }
+
+    def record(self, **overrides):
+        base = {
+            "config": {},
+            "compiled": False,
+            "identical": True,
+            "machine_factor": 1.0,
+            "baseline_flat_seconds": 1.1,
+            "baseline_compiled": False,
+            "target_speedup_vs_prepr2": 5.0,
+            "flat_seconds": 1.1,
+            "object_seconds": 1.0,
+            "speedup_vs_object": 0.9,
+            "adjusted_prepr2_seconds": 1.6,
+            "speedup_vs_prepr2": 1.45,
+        }
+        base.update(overrides)
+        return base
+
+    def run_check(self, monkeypatch, record, allow_drift=False):
+        monkeypatch.setattr(
+            check_hotloop, "measure_flat_backend", lambda runner: record
+        )
+        return check_hotloop.check_flat_backend(
+            None, self.BASELINE, max_regression=0.25, allow_drift=allow_drift
+        )
+
+    def test_within_budget_passes(self, monkeypatch, capsys):
+        assert self.run_check(monkeypatch, self.record()) == 0
+        out = capsys.readouterr().out
+        assert "[OK]" in out
+        assert "tracked only: pure-python kernel" in out
+
+    def test_missing_baseline_section_is_actionable(self, capsys):
+        status = check_hotloop.check_flat_backend(
+            None, {"cycles": 1}, max_regression=0.25, allow_drift=False
+        )
+        assert status == 2
+        assert "no flat_backend record" in capsys.readouterr().out
+
+    def test_bit_identity_break_fails_unconditionally(
+        self, monkeypatch, capsys
+    ):
+        record = self.record(identical=False, flat_seconds=0.01)
+        assert self.run_check(monkeypatch, record) == 1
+        assert "BIT-IDENTITY BROKEN" in capsys.readouterr().out
+
+    def test_latency_regression_fails(self, monkeypatch, capsys):
+        record = self.record(flat_seconds=2.0)
+        assert self.run_check(monkeypatch, record) == 1
+        assert "[REGRESSION]" in capsys.readouterr().out
+
+    def test_cycle_drift_fails_without_allow_drift(
+        self, monkeypatch, capsys
+    ):
+        record = self.record(speedup_vs_prepr2=None, note="cycle drift")
+        assert self.run_check(monkeypatch, record) == 1
+        assert self.run_check(monkeypatch, record, allow_drift=True) == 0
+
+    def test_pure_python_below_target_is_tracked_not_gated(
+        self, monkeypatch
+    ):
+        # speedup_vs_prepr2 1.45 is far below the 5x target; with a
+        # pure-python kernel that is informational, not a failure.
+        assert (
+            self.run_check(monkeypatch, self.record(speedup_vs_prepr2=1.45))
+            == 0
+        )
+
+    def test_compiled_kernel_below_target_is_gated(
+        self, monkeypatch, capsys
+    ):
+        record = self.record(
+            compiled=True, baseline_compiled=True, speedup_vs_prepr2=2.0
+        )
+        assert self.run_check(monkeypatch, record) == 1
+        assert "below the recorded target" in capsys.readouterr().out
+
+
 class TestMeasureHotLoopGuard:
     def test_malformed_baseline_returns_none_with_warning(
         self, tmp_path, monkeypatch, capsys
