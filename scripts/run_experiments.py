@@ -40,8 +40,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import subprocess
 import sys
+import threading
 import time
 
 from repro.analysis import (
@@ -537,6 +539,16 @@ class SweepCheckpoint:
 
     def mark(self, name: str) -> None:
         self.completed.append(name)
+        self.flush()
+
+    def flush(self) -> None:
+        """Persist current progress unconditionally.
+
+        ``mark`` flushes after every completed figure; the separate
+        entry point exists for the SIGTERM/SIGINT handler, so a polite
+        kill leaves exactly the checkpoint a SIGKILL-and-resume would
+        find.
+        """
         if self.path is None:
             return
         try:
@@ -792,29 +804,84 @@ def main(argv=None) -> int:
             handle.write("\n")
         print(f"timing data written to {bench_path}")
 
-    try:
-        timed("table3", run_breakdown_table3)
-        fig4 = timed("fig4", run_fig4_ideal, sampling=sampling)
-        fig5 = timed("fig5", run_fig5_real, ideal=fig4, sampling=sampling)
-        timed("table4", run_table4_cache, fig5=fig5)
-        fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
-        timed("fig8", run_fig8_decoupled, sampling=sampling)
-        timed("fig9", run_fig9_summary, sampling=sampling)
-        # Observed companion runs (full detail, artifact-cached): where
-        # the fetch/dispatch slots went at the headline 8T point.
-        stall_breakdown = timed("stalls", run_stall_breakdown).measured
-    except SweepFailure as failure:
-        # Completed points are cached; the checkpoint stays so a rerun
-        # resumes instead of restarting.
-        print(f"\n{failure.summary()}", file=sys.stderr)
+    def print_resilience_summary() -> None:
+        # Stdout only (not the report): fault handling varies run to
+        # run, the tables must not.  Printed unconditionally so a clean
+        # run is visibly clean and a salvaged run visibly salvaged —
+        # these counts previously rode BENCH provenance only.
+        stats = runner.stats
         print(
-            "sweep stopped; every completed point is cached — fix the "
-            "cause (or relax --max-failures) and rerun to resume from "
-            "the checkpoint",
-            file=sys.stderr,
+            f"resilience: {stats.retries} retries, {stats.timeouts} timeouts, "
+            f"{stats.pool_breaks} pool restarts, "
+            f"{stats.corrupt_quarantined} corrupt cache entries quarantined, "
+            f"{stats.cache_write_errors} cache write errors, "
+            f"{stats.degraded} serial degradations, "
+            f"{stats.failed_points} failed points"
         )
-        write_bench("failed")
-        return 3
+
+    def _interrupted(signum, frame):
+        raise SystemExit(128 + signum)
+
+    # A polite kill (TERM from a scheduler, Ctrl-C) must leave the same
+    # resumable state a SIGKILL does: the handler turns the signal into
+    # an orderly unwind, and the except branch below flushes the figure
+    # checkpoint before exiting.  Only the main thread may install
+    # signal handlers; elsewhere (tests driving main() from a worker
+    # thread) the default disposition stays.
+    previous_handlers: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous_handlers[signum] = signal.signal(
+                    signum, _interrupted
+                )
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    try:
+        try:
+            timed("table3", run_breakdown_table3)
+            fig4 = timed("fig4", run_fig4_ideal, sampling=sampling)
+            fig5 = timed("fig5", run_fig5_real, ideal=fig4, sampling=sampling)
+            timed("table4", run_table4_cache, fig5=fig5)
+            fig6 = timed("fig6", run_fig6_fetch, sampling=sampling)
+            timed("fig8", run_fig8_decoupled, sampling=sampling)
+            timed("fig9", run_fig9_summary, sampling=sampling)
+            # Observed companion runs (full detail, artifact-cached):
+            # where the fetch/dispatch slots went at the headline 8T
+            # point.
+            stall_breakdown = timed("stalls", run_stall_breakdown).measured
+        except SweepFailure as failure:
+            # Completed points are cached; the checkpoint stays so a
+            # rerun resumes instead of restarting.
+            print(f"\n{failure.summary()}", file=sys.stderr)
+            print(
+                "sweep stopped; every completed point is cached — fix the "
+                "cause (or relax --max-failures) and rerun to resume from "
+                "the checkpoint",
+                file=sys.stderr,
+            )
+            print_resilience_summary()
+            write_bench("failed")
+            return 3
+        except SystemExit as exc:
+            # The signal handler above (or an injected stand-in): flush
+            # the figure checkpoint so the interrupted sweep resumes
+            # exactly like a crashed one, then exit with the
+            # conventional 128+signum status.
+            checkpoint.flush()
+            print(
+                "\ninterrupted; figure checkpoint flushed — every "
+                "completed point is cached, rerun to resume",
+                file=sys.stderr,
+            )
+            print_resilience_summary()
+            write_bench("interrupted")
+            code = exc.code
+            return code if isinstance(code, int) else 1
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
     # Section 5.3's scalar/vector mixing statistic at 8 threads.
     for isa in ("mmx", "mom"):
@@ -878,15 +945,7 @@ def main(argv=None) -> int:
         f"\nruns: {stats.requested} requested, {stats.deduplicated} deduped, "
         f"{stats.memo_hits + stats.disk_hits} cached, {stats.simulated} simulated"
     )
-    if stats.retries or stats.timeouts or stats.pool_breaks or stats.corrupt_quarantined:
-        # Stdout only (not the report): fault handling varies run to
-        # run, the tables must not.
-        print(
-            f"resilience: {stats.retries} retries, {stats.timeouts} timeouts, "
-            f"{stats.pool_breaks} pool restarts, "
-            f"{stats.corrupt_quarantined} corrupt cache entries quarantined, "
-            f"{stats.degraded} serial degradations"
-        )
+    print_resilience_summary()
     emit(f"total wall time: {wall:.0f} s")
 
     os.makedirs(RESULTS_DIR, exist_ok=True)

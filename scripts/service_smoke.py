@@ -1,0 +1,462 @@
+#!/usr/bin/env python3
+"""Service smoke test: the sweep service must survive chaos, bit-identically.
+
+Exercises ``repro.service`` end to end, the way ``chaos_smoke.py``
+exercises the in-process runner:
+
+1. **serial baseline** — ``run_experiments.py --jobs 1`` records the
+   reference report from a cold cache.
+2. **chaos service sweep** — a ``sweep_service.py serve`` daemon runs
+   under deterministic fault injection (worker crashes, hangs killed by
+   the lease watchdog, injected client disconnects) while **two
+   concurrent clients** submit the full overlapping figure sweep.
+   Mid-sweep the server is SIGKILLed and restarted on the same socket;
+   the clients ride out the restart by reconnecting and resubmitting
+   their outstanding points.  Both sweeps must converge with zero
+   failed points, and the execution log must show **single-flight
+   dedup**: no fingerprint was logged as executed more than once across
+   both server generations, despite two clients requesting all of them.
+3. **graceful drain** — SIGTERM must make the surviving server finish
+   in-flight work, flush a checksummed stats snapshot and exit 0.
+4. **warm verification** — ``run_experiments.py`` pointed at the
+   service's cache must produce a report bit-identical to the serial
+   baseline *without simulating anything* (``simulated == 0``): the
+   service and the runner share one result-store format.
+
+Reports are compared after stripping the provenance lines that
+legitimately differ between runs (wall time, cached/simulated split,
+hot-loop timing); every table byte must match.
+
+Exit status: 0 when all guarantees held, 1 otherwise.
+
+Usage:  python scripts/service_smoke.py [--scale 1e-5] [--jobs 2]
+            [--timeout 10] [--crash 0.2] [--hang 0.1] [--disconnect 0.15]
+            [--seed 7] [--kill-after N] [--log-dir DIR] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.experiments import sweep_requests  # noqa: E402
+from repro.analysis.runner import read_checked_json, verify_cache  # noqa: E402
+from repro.service import SweepClient, SweepOutcome  # noqa: E402
+from repro.service.server import (  # noqa: E402
+    EXECUTIONS_FILENAME,
+    STATS_FILENAME,
+)
+from repro.verify.faultinject import ENV_VAR, FaultPlan  # noqa: E402
+
+RUN_EXPERIMENTS = os.path.join(REPO_ROOT, "scripts", "run_experiments.py")
+SWEEP_SERVICE = os.path.join(REPO_ROOT, "scripts", "sweep_service.py")
+BENCH_PATH = os.path.join(REPO_ROOT, "results", "BENCH_experiments.json")
+
+#: Report lines that legitimately vary between runs of the same sweep.
+_VOLATILE_PREFIXES = ("runs:", "total wall time", "hot loop")
+
+
+def canonical_report(path: str) -> str:
+    """The report with run-to-run provenance lines stripped."""
+    lines = []
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith(_VOLATILE_PREFIXES):
+                continue
+            lines.append(line)
+    return "".join(lines)
+
+
+def base_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    env.pop(ENV_VAR, None)
+    return env
+
+
+def run_sweep(args, cache_dir: str, output: str) -> dict:
+    """One serial run_experiments sweep; returns the BENCH provenance."""
+    command = [
+        sys.executable, RUN_EXPERIMENTS,
+        "--scale", repr(args.scale),
+        "--jobs", "1",
+        "--cache-dir", cache_dir,
+        "--output", output,
+        "--no-hotloop",
+    ]
+    proc = subprocess.run(command, env=base_env(), cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: sweep exited with status {proc.returncode}: "
+            f"{' '.join(command)}"
+        )
+    with open(BENCH_PATH) as handle:
+        return json.load(handle)
+
+
+def count_run_entries(cache_dir: str) -> int:
+    """Completed simulation points on disk (not service/artifact files)."""
+    if not os.path.isdir(cache_dir):
+        return 0
+    return sum(
+        1
+        for name in os.listdir(cache_dir)
+        if name.endswith(".json")
+        and not name.startswith("artifact-")
+        and not name.startswith("service-")
+        and name != "sweep-checkpoint.json"
+    )
+
+
+def start_server(args, cache_dir: str, socket_path: str, env: dict,
+                 log_path: str) -> subprocess.Popen:
+    """Launch a server generation in its own process group.
+
+    Its own session so a SIGKILL can take out the whole group: killing
+    only the parent would leave pool workers holding inherited pipes
+    (and CI logs) open forever.
+    """
+    command = [
+        sys.executable, SWEEP_SERVICE, "serve",
+        "--cache-dir", cache_dir,
+        "--socket", socket_path,
+        "--jobs", str(args.jobs),
+        "--timeout", repr(args.timeout),
+        "--lease-poll", "0.1",
+        "--name", os.path.basename(log_path).rsplit(".", 1)[0],
+    ]
+    log = open(log_path, "ab")
+    try:
+        return subprocess.Popen(
+            command, env=env, cwd=REPO_ROOT, start_new_session=True,
+            stdout=log, stderr=subprocess.STDOUT,
+        )
+    finally:
+        log.close()
+
+
+def wait_for_socket(socket_path: str, server: subprocess.Popen,
+                    deadline: float = 30.0) -> None:
+    """Wait until the server *accepts* — a SIGKILLed predecessor leaves
+    a stale socket file behind, so existence alone proves nothing."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if os.path.exists(socket_path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(1.0)
+            try:
+                probe.connect(socket_path)
+                return
+            except OSError:
+                pass
+            finally:
+                probe.close()
+        if server.poll() is not None:
+            raise SystemExit(
+                f"FAIL: server died during startup "
+                f"(exit {server.returncode})"
+            )
+        time.sleep(0.05)
+    raise SystemExit(f"FAIL: server socket {socket_path} never accepted")
+
+
+def client_sweep(socket_path: str, requests, name: str,
+                 results: dict, deadline: float) -> None:
+    """One client thread: sweep every point, riding out chaos."""
+    client = SweepClient(socket_path, name=name, connect_timeout=60.0)
+    try:
+        results[name] = client.sweep(requests, deadline=deadline)
+    except Exception as exc:  # surfaced by the main thread
+        results[name] = exc
+    finally:
+        client.close()
+
+
+def execution_counts(cache_dir: str) -> dict[str, int]:
+    """Per-fingerprint execution counts across all server generations.
+
+    A line torn by the SIGKILL is skipped: the append happens *after*
+    the store write, so a missing line only under-counts (a fingerprint
+    can appear zero times when the kill landed between store and log —
+    never twice).
+    """
+    counts: dict[str, int] = {}
+    path = os.path.join(cache_dir, EXECUTIONS_FILENAME)
+    if not os.path.exists(path):
+        return counts
+    with open(path) as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            fingerprint = record.get("fingerprint")
+            if fingerprint:
+                counts[fingerprint] = counts.get(fingerprint, 0) + 1
+    return counts
+
+
+def check(condition: bool, message: str, failures: list) -> None:
+    tag = "ok" if condition else "FAIL"
+    print(f"  [{tag}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1e-5)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="server worker processes (default 2)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-run lease budget on the server (default 10)")
+    parser.add_argument("--crash", type=float, default=0.2)
+    parser.add_argument("--hang", type=float, default=0.1)
+    parser.add_argument("--disconnect", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--kill-after", type=int, default=12, metavar="N",
+        help="SIGKILL the first server generation once N points are "
+        "cached (default 12)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=900.0,
+        help="per-client sweep deadline seconds (default 900)",
+    )
+    parser.add_argument(
+        "--log-dir", default=None,
+        help="copy server logs + stats there (CI artifact)",
+    )
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for inspection")
+    args = parser.parse_args(argv)
+
+    scratch = tempfile.mkdtemp(prefix="service-smoke-")
+    failures: list[str] = []
+    servers: list[subprocess.Popen] = []
+    try:
+        baseline_cache = os.path.join(scratch, "cache-baseline")
+        service_cache = os.path.join(scratch, "cache-service")
+        baseline_report = os.path.join(scratch, "baseline.txt")
+        warm_report = os.path.join(scratch, "warm.txt")
+        socket_path = os.path.join(scratch, "sweep.sock")
+
+        print(f"== phase 1: serial baseline (scale {args.scale:g}) ==")
+        run_sweep(args, baseline_cache, baseline_report)
+        reference = canonical_report(baseline_report)
+
+        print("\n== phase 2: chaos service sweep, two clients, one "
+              "mid-sweep server SIGKILL ==")
+        plan = FaultPlan(
+            seed=args.seed,
+            crash_fraction=args.crash,
+            hang_fraction=args.hang,
+            disconnect_fraction=args.disconnect,
+            hang_seconds=max(4 * args.timeout, 45.0),
+        )
+        chaos_env = base_env()
+        chaos_env[ENV_VAR] = plan.to_json()
+        requests = sweep_requests(args.scale)
+        print(f"  {len(requests)} unique points, crash {args.crash:g} / "
+              f"hang {args.hang:g} / disconnect {args.disconnect:g}")
+
+        server = start_server(args, service_cache, socket_path, chaos_env,
+                              os.path.join(scratch, "server-gen1.log"))
+        servers.append(server)
+        wait_for_socket(socket_path, server)
+
+        outcomes: dict[str, SweepOutcome | Exception] = {}
+        threads = [
+            threading.Thread(
+                target=client_sweep,
+                args=(socket_path, requests, name, outcomes, args.deadline),
+                daemon=True,
+            )
+            for name in ("client-a", "client-b")
+        ]
+        for thread in threads:
+            thread.start()
+
+        kill_deadline = time.monotonic() + args.deadline
+        while (
+            count_run_entries(service_cache) < args.kill_after
+            and any(thread.is_alive() for thread in threads)
+            and time.monotonic() < kill_deadline
+        ):
+            time.sleep(0.05)
+        killed = any(thread.is_alive() for thread in threads)
+        if killed:
+            os.killpg(server.pid, signal.SIGKILL)
+            server.wait()
+            survivors = count_run_entries(service_cache)
+            print(f"  SIGKILLed server gen 1 (pgid {server.pid}) with "
+                  f"{survivors} points cached; restarting on same socket")
+            server = start_server(
+                args, service_cache, socket_path, chaos_env,
+                os.path.join(scratch, "server-gen2.log"),
+            )
+            servers.append(server)
+            wait_for_socket(socket_path, server)
+        else:
+            print("  note: sweep finished before the kill threshold")
+
+        for thread in threads:
+            thread.join(timeout=args.deadline)
+        for name in ("client-a", "client-b"):
+            outcome = outcomes.get(name)
+            if isinstance(outcome, Exception) or outcome is None:
+                check(False, f"{name} sweep converged ({outcome!r})",
+                      failures)
+                continue
+            sources = ", ".join(
+                f"{count} {source}"
+                for source, count in sorted(outcome.sources.items())
+            )
+            print(f"  {name}: {len(outcome.results)} ok ({sources}), "
+                  f"{len(outcome.failed)} failed, "
+                  f"{outcome.reconnects} reconnects")
+            check(outcome.ok, f"{name} sweep converged with zero failed "
+                  "points", failures)
+        reconnects = sum(
+            outcome.reconnects
+            for outcome in outcomes.values()
+            if isinstance(outcome, SweepOutcome)
+        )
+        check(reconnects >= 1,
+              f"clients reconnected through chaos ({reconnects} reconnects)",
+              failures)
+
+        counts = execution_counts(service_cache)
+        repeats = {fp: n for fp, n in counts.items() if n > 1}
+        check(
+            not repeats,
+            f"single-flight dedup held: no fingerprint executed more than "
+            f"once across both server generations ({len(counts)} logged, "
+            f"{len(repeats)} repeats)",
+            failures,
+        )
+        scan = verify_cache(service_cache)
+        check(
+            scan["ok"] >= len(requests) and not scan["corrupt"],
+            f"shared store holds every point intact ({scan['ok']} valid, "
+            f"{len(scan['corrupt'])} corrupt)",
+            failures,
+        )
+
+        status_client = SweepClient(socket_path, name="smoke-status")
+        try:
+            status = status_client.status()
+        finally:
+            status_client.close()
+        stats = status["stats"]
+        dedup_hits = (
+            stats["warm_hits"] + stats["memo_hits"] + stats["joined_inflight"]
+        )
+        handled = (
+            stats["retries"] + stats["lease_expiries"]
+            + stats["pool_breaks"] + stats["injected_disconnects"]
+        )
+        print(f"  final server: {stats['executed']} executed, "
+              f"{stats['warm_hits']} warm, {stats['memo_hits']} memo, "
+              f"{stats['joined_inflight']} joined, {stats['retries']} "
+              f"retries, {stats['lease_expiries']} lease expiries, "
+              f"{stats['pool_breaks']} pool breaks, "
+              f"{stats['injected_disconnects']} dropped deliveries")
+        check(dedup_hits > 0,
+              "overlapping submissions were deduplicated "
+              "(warm+memo+joined > 0)", failures)
+        check(handled > 0,
+              "injected faults were actually handled "
+              "(retries+leases+breaks+disconnects > 0)", failures)
+        check(stats["failed_points"] == 0,
+              "no point failed permanently under injection", failures)
+
+        print("\n== phase 3: graceful drain on SIGTERM ==")
+        os.killpg(server.pid, signal.SIGTERM)
+        try:
+            code = server.wait(timeout=max(4 * args.timeout, 60.0))
+        except subprocess.TimeoutExpired:
+            os.killpg(server.pid, signal.SIGKILL)
+            server.wait()
+            code = None
+        check(code == 0, f"server drained and exited 0 (exit {code})",
+              failures)
+        stats_payload, stats_status = read_checked_json(
+            os.path.join(service_cache, STATS_FILENAME)
+        )
+        check(
+            stats_status == "ok" and bool(stats_payload.get("drained")),
+            f"drain flushed a checksummed stats snapshot "
+            f"(status {stats_status})",
+            failures,
+        )
+
+        print("\n== phase 4: warm run_experiments on the service cache ==")
+        bench = run_sweep(args, service_cache, warm_report)
+        runner_stats = bench["runner"]
+        print(f"  warm provenance: {runner_stats['disk_hits']} disk hits, "
+              f"{runner_stats['simulated']} simulated")
+        check(
+            canonical_report(warm_report) == reference,
+            "service-cache report is bit-identical to the serial baseline",
+            failures,
+        )
+        check(
+            runner_stats["simulated"] == 0,
+            "the runner simulated nothing: every point came from the "
+            "service's store",
+            failures,
+        )
+
+        print()
+        if failures:
+            print(f"service smoke: {len(failures)} guarantee(s) violated:")
+            for message in failures:
+                print(f"  - {message}")
+            return 1
+        print("service smoke: all guarantees held")
+        return 0
+    finally:
+        for server in servers:
+            if server.poll() is None:
+                with_suppress_kill(server)
+        if args.log_dir:
+            os.makedirs(args.log_dir, exist_ok=True)
+            for name in os.listdir(scratch):
+                if name.endswith(".log") or name.endswith(".txt"):
+                    shutil.copy(os.path.join(scratch, name), args.log_dir)
+            for name in (STATS_FILENAME, EXECUTIONS_FILENAME):
+                path = os.path.join(scratch, "cache-service", name)
+                if os.path.exists(path):
+                    shutil.copy(path, args.log_dir)
+            print(f"logs copied to {args.log_dir}")
+        if args.keep:
+            print(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def with_suppress_kill(server: subprocess.Popen) -> None:
+    try:
+        os.killpg(server.pid, signal.SIGKILL)
+        server.wait()
+    except (OSError, subprocess.SubprocessError):
+        pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Operate the distributed sweep service (``repro.service``).
+
+Subcommands:
+
+* ``serve`` — run the scheduler daemon until drained (SIGTERM, SIGINT
+  or a client ``drain`` frame all trigger the same graceful path:
+  stop accepting, finish in-flight work, flush stats, exit 0).
+* ``submit`` — run a figure sweep through a server as a client,
+  reconnecting across server restarts; exits 1 if any point failed.
+* ``status`` — print one JSON status snapshot.
+* ``drain`` — ask a server to drain.
+
+Examples::
+
+    python scripts/sweep_service.py serve --cache-dir results/.runcache \\
+        --socket /tmp/sweep.sock --jobs 4 --timeout 300
+    python scripts/sweep_service.py submit --socket /tmp/sweep.sock \\
+        --scale 2e-5 --figures fig4,fig5
+    python scripts/sweep_service.py status --socket /tmp/sweep.sock
+
+The server and ``run_experiments.py`` share the result-store format:
+point either at the same ``--cache-dir`` and each is a warm cache for
+the other.  See ``docs/RESILIENCE.md`` ("Sweep service").
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.analysis.experiments import figure_requests, sweep_requests  # noqa: E402
+from repro.analysis.resilience import ResilienceConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    ServiceUnavailable,
+    SweepClient,
+    resolve_endpoint,
+    serve,
+)
+
+
+def _endpoint_from_args(args) -> str | tuple[str, int]:
+    if args.socket:
+        return args.socket
+    if args.port:
+        return (args.host, args.port)
+    if args.cache_dir:
+        return resolve_endpoint(args.cache_dir)
+    raise SystemExit("need --socket, --port or --cache-dir to find a server")
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", help="unix socket path of the server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir",
+        help="find the server via its advertised endpoint file",
+    )
+
+
+def cmd_serve(args) -> int:
+    resilience = ResilienceConfig(
+        timeout=args.timeout,
+        max_attempts=args.retries,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+    )
+    config = ServiceConfig(
+        cache_dir=args.cache_dir,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        resilience=resilience,
+        lease_poll=args.lease_poll,
+        drain_grace=args.drain_grace,
+        name=args.name,
+    )
+    return asyncio.run(serve(config))
+
+
+def cmd_submit(args) -> int:
+    figures = None
+    if args.figures:
+        figures = [name.strip() for name in args.figures.split(",") if name]
+        known = set(figure_requests(args.scale))
+        unknown = sorted(set(figures) - known)
+        if unknown:
+            raise SystemExit(
+                f"unknown figure(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    sampling = (
+        tuple(int(v) for v in args.sampling.split(","))
+        if args.sampling
+        else None
+    )
+    requests = sweep_requests(args.scale, sampling, figures=figures)
+    client = SweepClient(_endpoint_from_args(args), name=args.name)
+    try:
+        outcome = client.sweep(requests, deadline=args.deadline)
+    except ServiceUnavailable as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    sources = ", ".join(
+        f"{count} {source}" for source, count in sorted(outcome.sources.items())
+    )
+    print(
+        f"sweep of {len(requests)} points: {len(outcome.results)} ok "
+        f"({sources}), {len(outcome.failed)} failed, "
+        f"{outcome.reconnects} reconnects"
+    )
+    for fingerprint, frame in sorted(outcome.failed.items()):
+        failures = frame.get("failures") or []
+        last = failures[-1] if failures else {}
+        print(
+            f"  FAILED {fingerprint[:12]}: {last.get('error')}: "
+            f"{last.get('message')}",
+            file=sys.stderr,
+        )
+    return 1 if outcome.failed else 0
+
+
+def cmd_status(args) -> int:
+    client = SweepClient(_endpoint_from_args(args), name=args.name)
+    try:
+        print(json.dumps(client.status(), indent=2, sort_keys=True))
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_drain(args) -> int:
+    client = SweepClient(_endpoint_from_args(args), name=args.name)
+    client.drain()
+    print("drain requested")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the scheduler daemon")
+    p_serve.add_argument("--cache-dir", required=True,
+                         help="shared result-store directory")
+    p_serve.add_argument("--socket", help="unix socket to listen on")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral; used when no --socket)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker processes (default 2)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-run lease/timeout seconds (default: none)")
+    p_serve.add_argument("--retries", type=int, default=4,
+                         help="max attempts per point (default 4)")
+    p_serve.add_argument("--backoff-base", type=float, default=0.25)
+    p_serve.add_argument("--backoff-max", type=float, default=8.0)
+    p_serve.add_argument("--lease-poll", type=float, default=0.25,
+                         help="scheduler tick seconds (default 0.25)")
+    p_serve.add_argument("--drain-grace", type=float, default=600.0,
+                         help="max seconds a drain waits for in-flight work")
+    p_serve.add_argument("--name", default="sweep-service")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser("submit", help="run a sweep as a client")
+    _add_endpoint_args(p_submit)
+    p_submit.add_argument("--scale", type=float, default=2e-5)
+    p_submit.add_argument("--sampling", default=None,
+                          help="ff,window,warmup instruction counts")
+    p_submit.add_argument("--figures", default=None,
+                          help="comma-separated subset (default: all)")
+    p_submit.add_argument("--deadline", type=float, default=1800.0)
+    p_submit.add_argument("--name", default=f"submit-{os.getpid()}")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="print a status snapshot")
+    _add_endpoint_args(p_status)
+    p_status.add_argument("--name", default="status")
+    p_status.set_defaults(func=cmd_status)
+
+    p_drain = sub.add_parser("drain", help="ask the server to drain")
+    _add_endpoint_args(p_drain)
+    p_drain.add_argument("--name", default="drain")
+    p_drain.set_defaults(func=cmd_drain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

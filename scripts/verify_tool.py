@@ -7,15 +7,23 @@ Usage:
     python scripts/verify_tool.py asm        # lint examples + kernel library
     python scripts/verify_tool.py traces     # validate generated traces
     python scripts/verify_tool.py lint       # whole-repo AST invariant linter
+    python scripts/verify_tool.py cache      # integrity-scan the runcache
 
 ``lint`` options:
     --json PATH            write the machine-readable report (CI artifact)
     --baseline PATH        baseline file (default: .codelint-baseline.json)
     --update-baseline      accept all current findings into the baseline
 
+``cache`` options (the shared result store that ``run_experiments.py``
+and the sweep service both use; see docs/RESILIENCE.md):
+    --cache-dir PATH       store to scan (default: results/.runcache)
+    --purge-corrupt        quarantine corrupt entries and delete all
+                           quarantined (``.corrupt``) files
+
 Exit status (CI keys on these — see docs/VERIFY.md):
     0  clean
-    1  artifact checks (isa/asm/traces) reported ERROR diagnostics
+    1  artifact checks (isa/asm/traces) reported ERROR diagnostics, or
+       ``cache`` found corrupt entries (without --purge-corrupt)
     2  usage error
     3  codelint reported non-baselined diagnostics (and artifact checks,
        if also selected, were clean)
@@ -138,6 +146,70 @@ def run_lint(
     return not new
 
 
+def run_cache(cache_dir: str | None = None, purge: bool = False) -> bool:
+    """Integrity-scan (and optionally purge) a result store.
+
+    Returns True when the store is clean: no corrupt entries, or every
+    corrupt entry was just purged.  Legacy and already-quarantined
+    files never fail the scan — they are inert (skipped by every
+    reader) and listed for the operator.
+    """
+    import warnings
+
+    from repro.analysis.runner import (
+        CacheIntegrityWarning,
+        quarantine_entry,
+        verify_cache,
+    )
+
+    if cache_dir is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        cache_dir = os.path.join(root, "results", ".runcache")
+    if not os.path.isdir(cache_dir):
+        print(f"cache: no cache directory at {cache_dir} (nothing to scan)")
+        return True
+    scan = verify_cache(cache_dir)
+    print(
+        f"cache: {scan['ok']} ok, {len(scan['corrupt'])} corrupt, "
+        f"{len(scan['legacy'])} legacy, {len(scan['quarantined'])} "
+        f"quarantined in {cache_dir}"
+    )
+    for path in scan["legacy"]:
+        print(f"  LEGACY      {path} (pre-checksum format; ignored)")
+    for path in scan["quarantined"]:
+        print(f"  QUARANTINED {path}")
+    for path in scan["corrupt"]:
+        print(f"  CORRUPT     {path}")
+    if not purge:
+        if scan["corrupt"]:
+            print(
+                "cache: corrupt entries found — rerun with "
+                "--purge-corrupt to quarantine and remove them "
+                "(results are recomputed on next use)"
+            )
+        return not scan["corrupt"]
+    removed = 0
+    with warnings.catch_warnings():
+        # The scan output above already lists every victim; the
+        # per-entry "recomputing" warning is runner-context noise here.
+        warnings.simplefilter("ignore", CacheIntegrityWarning)
+        for path in scan["corrupt"]:
+            quarantine_entry(path)
+    for path in scan["quarantined"] + [
+        f"{path}.corrupt" for path in scan["corrupt"]
+    ]:
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
+    print(
+        f"cache: purged {removed} quarantined "
+        f"entr{'y' if removed == 1 else 'ies'}"
+    )
+    return True
+
+
 COMMANDS = {
     "isa": run_isa,
     "asm": run_asm,
@@ -153,6 +225,8 @@ def main(argv: list[str]) -> int:
     json_path = None
     baseline_path = None
     update_baseline = False
+    cache_dir = None
+    purge_corrupt = False
     selected = []
     it = iter(args)
     for arg in it:
@@ -168,26 +242,38 @@ def main(argv: list[str]) -> int:
                 return 2
         elif arg == "--update-baseline":
             update_baseline = True
+        elif arg == "--cache-dir":
+            cache_dir = next(it, None)
+            if cache_dir is None:
+                print("--cache-dir needs a path", file=sys.stderr)
+                return 2
+        elif arg == "--purge-corrupt":
+            purge_corrupt = True
         elif arg.startswith("-"):
             print(f"unknown option {arg}", file=sys.stderr)
             print(__doc__, file=sys.stderr)
             return 2
         else:
             selected.append(arg)
-    known = set(COMMANDS) | {"lint"}
+    known = set(COMMANDS) | {"lint", "cache"}
     unknown = [name for name in selected if name not in known]
     if unknown:
         print(f"unknown check(s): {', '.join(unknown)}", file=sys.stderr)
         print(__doc__, file=sys.stderr)
         return 2
     if not selected:
+        # ``cache`` stays opt-in: the default selection must not depend
+        # on what experiments have (or have not) been run locally.
         selected = list(COMMANDS) + ["lint"]
 
     report = Report()
     lint_clean = True
+    cache_clean = True
     for name in selected:
         if name == "lint":
             lint_clean = run_lint(json_path, baseline_path, update_baseline)
+        elif name == "cache":
+            cache_clean = run_cache(cache_dir, purge_corrupt)
         else:
             COMMANDS[name](report)
     if report.diagnostics:
@@ -197,8 +283,9 @@ def main(argv: list[str]) -> int:
     print(
         f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
         + ("" if lint_clean else " + codelint findings")
+        + ("" if cache_clean else " + corrupt cache entries")
     )
-    if not report.ok:
+    if not report.ok or not cache_clean:
         return 1
     if not lint_clean:
         return 3

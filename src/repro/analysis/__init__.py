@@ -3,6 +3,7 @@
 from repro.analysis.experiments import (
     DEFAULT_SAMPLING,
     ExperimentResult,
+    figure_requests,
     resolve_sampling,
     run_breakdown_table3,
     run_fig4_ideal,
@@ -13,6 +14,7 @@ from repro.analysis.experiments import (
     run_stall_breakdown,
     run_table4_cache,
     simulate,
+    sweep_requests,
 )
 from repro.analysis.goldens import (
     GOLDEN_SCALE,
@@ -29,6 +31,7 @@ from repro.analysis.resilience import (
 )
 from repro.analysis.runner import (
     CacheIntegrityWarning,
+    ResultStore,
     RunRequest,
     Runner,
     RunnerStats,
@@ -40,6 +43,7 @@ __all__ = [
     "CacheIntegrityWarning",
     "FailureRecord",
     "ResilienceConfig",
+    "ResultStore",
     "RunOutcome",
     "RunRequest",
     "Runner",
@@ -47,6 +51,8 @@ __all__ = [
     "SweepFailure",
     "verify_cache",
     "resolve_sampling",
+    "figure_requests",
+    "sweep_requests",
     "ExperimentResult",
     "run_breakdown_table3",
     "run_fig4_ideal",

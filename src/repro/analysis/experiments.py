@@ -650,3 +650,94 @@ def run_fig9_summary(
         runs=runs,
         report=report,
     )
+
+
+# ------------------------------------------------- sweep enumeration
+
+
+def figure_requests(
+    scale: float = DEFAULT_SCALE,
+    sampling=None,
+    threads=THREAD_SWEEP,
+) -> dict[str, list[RunRequest]]:
+    """Every figure's simulation points, as buildable requests.
+
+    The exact batches the drivers above submit, keyed by figure —
+    the sweep service's clients (``repro.service``) and harnesses use
+    this to enumerate the whole working set without running a driver.
+    ``table3`` and the stall breakdown are derived *artifacts* (they
+    reuse these runs' trace caches, not runcache points), so they do
+    not appear here; a report generated from a cache populated by
+    these requests performs zero simulations.
+    """
+    sampling = resolve_sampling(sampling)
+    policies = {
+        "mmx": (FetchPolicy.RR, FetchPolicy.ICOUNT, FetchPolicy.BALANCE),
+        "mom": (
+            FetchPolicy.RR,
+            FetchPolicy.ICOUNT,
+            FetchPolicy.OCOUNT,
+            FetchPolicy.BALANCE,
+        ),
+    }
+    figures: dict[str, list[RunRequest]] = {}
+    figures["fig4"] = [
+        RunRequest(isa, n, memory="perfect", scale=scale, sampling=sampling)
+        for isa in ISAS
+        for n in threads
+    ]
+    figures["fig5"] = [
+        RunRequest(
+            isa, n, memory="conventional", scale=scale, sampling=sampling
+        )
+        for isa in ISAS
+        for n in threads
+    ]
+    # Table 4 measures cache behaviour on figure 5's exact runs.
+    figures["table4"] = list(figures["fig5"])
+    for name, memory in (("fig6", "conventional"), ("fig8", "decoupled")):
+        figures[name] = [
+            RunRequest(
+                isa, n, memory=memory, fetch_policy=policy.value,
+                scale=scale, sampling=sampling,
+            )
+            for isa in ISAS
+            for policy in policies[isa]
+            for n in threads
+        ]
+    figures["fig9"] = [
+        RunRequest(
+            isa, n, memory=memory, scale=scale, completions_target=16,
+            sampling=sampling,
+        )
+        for isa in ISAS
+        for memory in ("perfect", "conventional", "decoupled")
+        for n in threads
+    ]
+    return figures
+
+
+def sweep_requests(
+    scale: float = DEFAULT_SCALE,
+    sampling=None,
+    threads=THREAD_SWEEP,
+    figures=None,
+) -> list[RunRequest]:
+    """Deduplicated union of the figures' points, in submission order.
+
+    ``figures`` optionally restricts the sweep to a subset of figure
+    names (unknown names raise ``KeyError``).
+    """
+    by_figure = figure_requests(scale, sampling, threads)
+    if figures is None:
+        selected = list(by_figure)
+    else:
+        selected = list(figures)
+    seen: set[RunRequest] = set()
+    ordered: list[RunRequest] = []
+    for name in selected:
+        for request in by_figure[name]:
+            if request not in seen:
+                seen.add(request)
+                ordered.append(request)
+    return ordered

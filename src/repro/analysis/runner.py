@@ -175,6 +175,127 @@ def verify_cache(cache_dir: str) -> dict:
         "quarantined": quarantined,
     }
 
+
+def quarantine_entry(path: str, what: str = "result-cache") -> str:
+    """Move a corrupt cache entry aside, loudly.
+
+    Returns the quarantine path (``<entry>.corrupt``), or
+    ``"(could not be moved)"`` when the rename itself failed.  Callers
+    own the bookkeeping (``RunnerStats.corrupt_quarantined`` for the
+    runner, ``ServiceStats`` for the sweep service).
+    """
+    quarantined = f"{path}.corrupt"
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        quarantined = "(could not be moved)"
+    warnings.warn(
+        CacheIntegrityWarning(
+            f"corrupt {what} entry {path}: parse/checksum failure; "
+            f"quarantined to {quarantined}, recomputing"
+        ),
+        stacklevel=3,
+    )
+    return quarantined
+
+
+class ResultStore:
+    """The content-addressed, checksummed result store.
+
+    One directory of ``<fingerprint>.json`` entries in the
+    :func:`write_checked_json` envelope, shared by :class:`Runner`
+    (in-process sweeps) and the sweep service (``repro.service`` —
+    many clients, one store).  Both sides read and write the exact
+    same payload shape, so a sweep that ran through the service is a
+    warm cache for ``run_experiments.py`` and vice versa:
+
+    ``{"result_format", "code_version", "request", "result",
+    "sim_seconds", "saved_at"}``
+
+    The store is crash-safe (atomic rename + checksum; a torn write is
+    quarantined on next read, never served) and append-only from the
+    callers' point of view — entries are only ever replaced by a
+    recompute of the same fingerprint.
+    """
+
+    def __init__(self, cache_dir: str, version: str | None = None):
+        self.cache_dir = cache_dir
+        self.version = version
+        os.makedirs(cache_dir, exist_ok=True)
+
+    @property
+    def trace_dir(self) -> str:
+        """Trace-cache directory, nested so one rm clears both."""
+        path = os.path.join(self.cache_dir, "traces")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def fingerprint_of(self, request) -> str:
+        return request.fingerprint(self.version)
+
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.cache_dir, f"{fingerprint}.json")
+
+    def load(self, fingerprint: str) -> tuple[dict | None, str]:
+        """Load an entry: ``(payload, status)``.
+
+        ``status`` is ``"ok"``, ``"missing"``, ``"stale"`` (readable
+        but a different result format — recompute) or ``"corrupt"``
+        (quarantined before returning); ``payload`` is ``None`` unless
+        ``"ok"``.
+        """
+        path = self.path_for(fingerprint)
+        payload, status = read_checked_json(path)
+        if status == "corrupt":
+            quarantine_entry(path)
+            return None, "corrupt"
+        if payload is None:  # missing, or a stale pre-checksum format
+            return None, "missing" if status == "missing" else "stale"
+        if payload.get("result_format") != RESULT_FORMAT:
+            return None, "stale"
+        return payload, "ok"
+
+    def store(
+        self,
+        fingerprint: str,
+        request_payload: dict,
+        result_payload: dict,
+        elapsed: float,
+        attempt: int = 0,
+    ) -> bool:
+        """Persist one finished point; ``False`` if the write failed.
+
+        A failed write is loud (``CacheIntegrityWarning``) but not
+        fatal: the caller already holds the result in memory, so losing
+        persistence costs a recompute next session, not correctness.
+        """
+        path = self.path_for(fingerprint)
+        payload = {
+            "result_format": RESULT_FORMAT,
+            "code_version": self.version or code_version(),
+            "request": request_payload,
+            "result": result_payload,
+            "sim_seconds": elapsed,
+            "saved_at": time.time(),
+        }
+        try:
+            write_checked_json(path, payload)
+        except OSError as exc:
+            warnings.warn(
+                CacheIntegrityWarning(
+                    f"could not persist result-cache entry {path}: {exc}"
+                ),
+                stacklevel=3,
+            )
+            return False
+        faultinject.corrupt_cache_entry(path, fingerprint, attempt)
+        return True
+
+    def scan(self) -> dict:
+        """Integrity-scan the whole store (see :func:`verify_cache`)."""
+        return verify_cache(self.cache_dir)
+
+
 #: Subpackages whose source determines simulation results.  The analysis
 #: layer (drivers, reporting) is deliberately excluded: rewording a
 #: report must not invalidate cached simulations.
@@ -465,7 +586,7 @@ def execute_request(
     return processor.run()
 
 
-def _pool_execute(args: tuple) -> dict:
+def pool_execute(args: tuple) -> dict:
     """Worker-process entry point: simulate and return timed plain data.
 
     ``args`` is ``(request, trace_dir, attempt, fingerprint)`` — the
@@ -474,6 +595,10 @@ def _pool_execute(args: tuple) -> dict:
     wall time is persisted with the cached result so a later
     fully-cached sweep can still report the throughput of the
     simulations that produced its numbers.
+
+    Shared by :meth:`Runner.run_batch` and the sweep service — both
+    dispatch through the module attribute at call time, so a test
+    double installed over either name applies to every consumer.
     """
     request, trace_dir, attempt, fingerprint = args
     faultinject.fire_execution_fault(fingerprint, attempt)
@@ -484,6 +609,11 @@ def _pool_execute(args: tuple) -> dict:
         "result": result_to_dict(result),
         "attempt": attempt,
     }
+
+
+#: Legacy name of :func:`pool_execute`; ``run_batch`` dispatches through
+#: this module global so existing test doubles keep working.
+_pool_execute = pool_execute
 
 
 # ------------------------------------------------------------- window shards
@@ -753,56 +883,42 @@ class Runner:
         self.outcomes: dict[RunRequest, RunOutcome] = {}
         self._memo: dict[RunRequest, RunResult] = {}
         self._artifacts: dict[tuple, object] = {}
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+        #: The shared on-disk result store (``None`` without a cache
+        #: dir).  The same class backs the sweep service, so either
+        #: side's entries are warm hits for the other.
+        self.store: ResultStore | None = (
+            ResultStore(cache_dir, version) if cache_dir else None
+        )
 
     # ----- cache plumbing ---------------------------------------------------
 
     @property
     def trace_dir(self) -> str | None:
-        if not self.cache_dir:
+        if self.store is None:
             return None
-        path = os.path.join(self.cache_dir, "traces")
-        os.makedirs(path, exist_ok=True)
-        return path
+        return self.store.trace_dir
 
     def _cache_path(self, request: RunRequest) -> str | None:
-        if not self.cache_dir:
+        if self.store is None:
             return None
-        return os.path.join(
-            self.cache_dir, request.fingerprint(self.version) + ".json"
-        )
+        return self.store.path_for(request.fingerprint(self.version))
 
     def _quarantine(self, path: str, what: str) -> None:
         """Move a corrupt cache entry aside, loudly, and count it."""
-        quarantined = f"{path}.corrupt"
-        try:
-            os.replace(path, quarantined)
-        except OSError:
-            quarantined = "(could not be moved)"
+        quarantine_entry(path, what)
         self.stats.corrupt_quarantined += 1
-        warnings.warn(
-            CacheIntegrityWarning(
-                f"corrupt {what} entry {path}: parse/checksum failure; "
-                f"quarantined to {quarantined}, recomputing"
-            ),
-            stacklevel=3,
-        )
 
     def _cache_load(
         self, request: RunRequest
     ) -> tuple[RunResult, float] | None:
         """Load a cached result and the wall time that produced it."""
-        path = self._cache_path(request)
-        if path is None:
+        if self.store is None:
             return None
-        payload, status = read_checked_json(path)
+        payload, status = self.store.load(request.fingerprint(self.version))
         if status == "corrupt":
-            self._quarantine(path, "result-cache")
+            self.stats.corrupt_quarantined += 1
             return None
-        if payload is None:  # missing, or a stale pre-checksum format
-            return None
-        if payload.get("result_format") != RESULT_FORMAT:
+        if payload is None:
             return None
         return (
             result_from_dict(payload["result"]),
@@ -816,32 +932,19 @@ class Runner:
         elapsed: float,
         attempt: int = 0,
     ) -> None:
-        if not self.cache_dir:
+        if self.store is None:
             return
-        fingerprint = request.fingerprint(self.version)
-        path = os.path.join(self.cache_dir, f"{fingerprint}.json")
-        payload = {
-            "result_format": RESULT_FORMAT,
-            "code_version": self.version or code_version(),
-            "request": asdict(request),
-            "result": result_to_dict(result),
-            "sim_seconds": elapsed,
-            "saved_at": time.time(),
-        }
-        try:
-            write_checked_json(path, payload)
-        except OSError as exc:
+        stored = self.store.store(
+            request.fingerprint(self.version),
+            asdict(request),
+            result_to_dict(result),
+            elapsed,
+            attempt,
+        )
+        if not stored:
             # The result is already memoized; losing persistence costs a
             # recompute next session, not this sweep's correctness.
             self.stats.cache_write_errors += 1
-            warnings.warn(
-                CacheIntegrityWarning(
-                    f"could not persist result-cache entry {path}: {exc}"
-                ),
-                stacklevel=2,
-            )
-            return
-        faultinject.corrupt_cache_entry(path, fingerprint, attempt)
 
     # ----- execution --------------------------------------------------------
 

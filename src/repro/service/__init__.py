@@ -1,0 +1,56 @@
+"""The sweep service: many clients, one scheduler, one result store.
+
+``repro.service`` promotes the experiment runner to a client/server
+architecture — the "heavy traffic from many users" story.  A
+:class:`~repro.service.server.SweepService` daemon accepts sweep
+submissions over a newline-delimited-JSON socket protocol, shards
+fingerprinted run requests across a resilient local worker pool with
+single-flight dedup and lease tracking, and streams results into the
+shared content-addressed runcache.  ``scripts/sweep_service.py`` is
+the CLI; ``scripts/service_smoke.py`` is the chaos acceptance harness;
+``docs/RESILIENCE.md`` documents the protocol, lease semantics and
+failure matrix.
+"""
+
+from repro.service.client import (
+    ServiceUnavailable,
+    SweepClient,
+    SweepOutcome,
+    resolve_endpoint,
+)
+from repro.service.leases import Lease, LeaseTable
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    request_from_wire,
+    request_to_wire,
+)
+from repro.service.server import (
+    ServiceConfig,
+    ServiceStats,
+    SweepService,
+    serve,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Lease",
+    "LeaseTable",
+    "ProtocolError",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceUnavailable",
+    "SweepClient",
+    "SweepOutcome",
+    "SweepService",
+    "decode_frame",
+    "encode_frame",
+    "request_from_wire",
+    "request_to_wire",
+    "resolve_endpoint",
+    "serve",
+]

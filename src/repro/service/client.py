@@ -1,0 +1,328 @@
+"""Synchronous sweep-service client with reconnect/resubmit recovery.
+
+:class:`SweepClient` speaks :mod:`repro.service.protocol` over a unix
+or TCP socket.  Its one non-obvious behaviour is deliberate: a sweep
+survives *any* connection loss — an injected chaos drop, a server
+SIGKILL + restart, a network blip — by reconnecting and resubmitting
+only the still-outstanding fingerprints.  Everything already finished
+is a warm hit on the shared store (or a join on the in-flight job), so
+resubmission is idempotent and converges; a sweep only fails when the
+server stays unreachable or stops making progress.
+
+The client computes every fingerprint locally and cross-checks the
+server's ``accepted`` echo: a mismatch means the two sides run
+different simulation code (their caches would silently split), which
+is surfaced as a loud :class:`~repro.service.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.runner import RunRequest, read_checked_json
+from repro.service import protocol
+from repro.service.server import ENDPOINT_FILENAME
+
+
+class ServiceUnavailable(ConnectionError):
+    """The service cannot be reached, or a sweep stopped progressing."""
+
+
+@dataclass
+class SweepOutcome:
+    """What one sweep produced, keyed by fingerprint."""
+
+    #: Fingerprint → ``result`` frame (``result`` payload dict inside).
+    results: dict[str, dict] = field(default_factory=dict)
+    #: Fingerprint → ``point-failed`` frame.
+    failed: dict[str, dict] = field(default_factory=dict)
+    #: Delivery provenance: ``{"cache": n, "executed": n, "memo": n}``.
+    sources: dict[str, int] = field(default_factory=dict)
+    #: Times the client had to reconnect mid-sweep.
+    reconnects: int = 0
+    #: Every requested fingerprint, in submission order.
+    fingerprints: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and len(self.results) == len(
+            set(self.fingerprints)
+        )
+
+
+def resolve_endpoint(cache_dir: str) -> str | tuple[str, int]:
+    """Endpoint advertised by the server sharing ``cache_dir``."""
+    payload, status = read_checked_json(
+        os.path.join(cache_dir, ENDPOINT_FILENAME)
+    )
+    if status != "ok":
+        raise ServiceUnavailable(
+            f"no readable service endpoint in {cache_dir} ({status})"
+        )
+    endpoint = payload["endpoint"]
+    if endpoint["kind"] == "unix":
+        return endpoint["path"]
+    return (endpoint["host"], int(endpoint["port"]))
+
+
+class SweepClient:
+    """One client connection (reconnecting; not thread-safe)."""
+
+    def __init__(
+        self,
+        endpoint: str | tuple[str, int],
+        name: str = "client",
+        connect_timeout: float = 30.0,
+        read_timeout: float = 120.0,
+        retry_delay: float = 0.2,
+        progress_window: float = 300.0,
+    ):
+        #: A unix socket path (str) or a ``(host, port)`` pair.
+        self.endpoint = endpoint
+        self.name = name
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.retry_delay = retry_delay
+        #: A sweep with no delivery for this long is declared stalled.
+        self.progress_window = progress_window
+        self._sock: socket.socket | None = None
+        self._rfile = None
+
+    # ----- plumbing ---------------------------------------------------------
+
+    def _close(self) -> None:
+        for closer in (self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._rfile = None
+        self._sock = None
+
+    def _connect(self) -> None:
+        """Connect, retrying until ``connect_timeout`` is spent.
+
+        Retrying *here* (not just on I/O errors) is what lets a client
+        ride out a full server restart: the socket file or port is
+        briefly gone and comes back.
+        """
+        deadline = time.monotonic() + self.connect_timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            sock = None
+            try:
+                if isinstance(self.endpoint, str):
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(5.0)
+                    sock.connect(self.endpoint)
+                else:
+                    sock = socket.create_connection(
+                        tuple(self.endpoint), timeout=5.0
+                    )
+                # Keep the short connect timeout through the welcome
+                # handshake: a listener that accepts but never serves
+                # (e.g. a draining server's half-closed socket) must
+                # fail fast and retry, not sit out ``read_timeout``.
+                self._sock = sock
+                self._rfile = sock.makefile("rb")
+                welcome = self._read()
+                if welcome.get("op") != "welcome":
+                    raise protocol.ProtocolError(
+                        f"expected welcome, got {welcome.get('op')!r}"
+                    )
+                if welcome.get("proto") != protocol.PROTOCOL_VERSION:
+                    raise protocol.ProtocolError(
+                        f"protocol version mismatch: server speaks "
+                        f"{welcome.get('proto')!r}, client "
+                        f"{protocol.PROTOCOL_VERSION!r}"
+                    )
+                self._send({"op": "hello", "name": self.name})
+                sock.settimeout(self.read_timeout)
+                return
+            except protocol.ProtocolError:
+                self._close()
+                raise
+            except (OSError, ConnectionError) as exc:
+                last = exc
+                if sock is not None and self._sock is None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                self._close()
+                time.sleep(self.retry_delay)
+        raise ServiceUnavailable(
+            f"could not connect to {self.endpoint!r} within "
+            f"{self.connect_timeout:g}s: {last}"
+        )
+
+    def _send(self, message: dict) -> None:
+        if self._sock is None:
+            raise ConnectionError("not connected")
+        self._sock.sendall(protocol.encode_frame(message))
+
+    def _read(self) -> dict:
+        line = self._rfile.readline(protocol.MAX_FRAME_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_frame(line)
+
+    # ----- operations -------------------------------------------------------
+
+    def sweep(
+        self,
+        requests: list[RunRequest],
+        sweep_id: str | None = None,
+        deadline: float = 1800.0,
+    ) -> SweepOutcome:
+        """Submit a sweep and collect every point's verdict.
+
+        Reconnects and resubmits outstanding points on any connection
+        loss.  Raises :class:`ServiceUnavailable` when the overall
+        ``deadline`` or the per-delivery ``progress_window`` expires,
+        and :class:`~repro.service.protocol.ProtocolError` on a
+        fingerprint/code-version mismatch.
+        """
+        fingerprints = [request.fingerprint() for request in requests]
+        remaining: dict[str, RunRequest] = {}
+        for request, fingerprint in zip(requests, fingerprints):
+            remaining.setdefault(fingerprint, request)
+        outcome = SweepOutcome(fingerprints=list(fingerprints))
+        submission = 0
+        hard_deadline = time.monotonic() + deadline
+        last_progress = time.monotonic()
+        while remaining:
+            now = time.monotonic()
+            if now > hard_deadline:
+                raise ServiceUnavailable(
+                    f"sweep deadline ({deadline:g}s) expired with "
+                    f"{len(remaining)} points outstanding"
+                )
+            if now - last_progress > self.progress_window:
+                raise ServiceUnavailable(
+                    f"no progress for {self.progress_window:g}s with "
+                    f"{len(remaining)} points outstanding"
+                )
+            try:
+                if self._sock is None:
+                    self._connect()
+                submission += 1
+                batch = list(remaining.items())
+                self._send({
+                    "op": "submit",
+                    "sweep": (
+                        f"{sweep_id or self.name}#{submission}"
+                    ),
+                    "requests": [
+                        protocol.request_to_wire(request)
+                        for _, request in batch
+                    ],
+                })
+                self._collect(
+                    batch, remaining, outcome,
+                    hard_deadline=hard_deadline,
+                )
+                last_progress = time.monotonic()
+            except (ConnectionError, OSError) as exc:
+                if isinstance(exc, ServiceUnavailable):
+                    raise
+                self._close()
+                outcome.reconnects += 1
+                if outcome.results or outcome.failed:
+                    last_progress = time.monotonic()
+                time.sleep(self.retry_delay)
+        return outcome
+
+    def _collect(
+        self,
+        batch: list[tuple[str, RunRequest]],
+        remaining: dict[str, RunRequest],
+        outcome: SweepOutcome,
+        hard_deadline: float,
+    ) -> None:
+        """Read frames for one submission until its sweep-done."""
+        while True:
+            if time.monotonic() > hard_deadline:
+                raise ServiceUnavailable(
+                    "sweep deadline expired while streaming results"
+                )
+            message = self._read()
+            op = message["op"]
+            if op == "accepted":
+                ours = [fingerprint for fingerprint, _ in batch]
+                theirs = message.get("fingerprints")
+                if theirs != ours:
+                    raise protocol.ProtocolError(
+                        "fingerprint mismatch: client and server disagree "
+                        "on the simulation code version; refusing to "
+                        "split the cache"
+                    )
+            elif op == "result":
+                fingerprint = message.get("fingerprint")
+                if fingerprint in remaining:
+                    del remaining[fingerprint]
+                    outcome.results[fingerprint] = message
+                    source = str(message.get("source", "?"))
+                    outcome.sources[source] = (
+                        outcome.sources.get(source, 0) + 1
+                    )
+            elif op == "point-failed":
+                fingerprint = message.get("fingerprint")
+                if fingerprint in remaining:
+                    del remaining[fingerprint]
+                    outcome.failed[fingerprint] = message
+            elif op == "sweep-done":
+                return
+            elif op == "error":
+                if message.get("error") == "draining":
+                    raise ServiceUnavailable(
+                        "server is draining; submission rejected"
+                    )
+                raise protocol.ProtocolError(
+                    f"server error: {message.get('message')}"
+                )
+            elif op == "draining":
+                raise ConnectionError("server announced drain mid-sweep")
+            # welcome/status/heartbeat/ok frames are informational.
+
+    def status(self) -> dict:
+        """One status snapshot from the server."""
+        if self._sock is None:
+            self._connect()
+        self._send({"op": "status"})
+        while True:
+            message = self._read()
+            if message["op"] == "status":
+                return message
+
+    def drain(self) -> None:
+        """Ask the server to drain (best-effort; server may vanish)."""
+        try:
+            if self._sock is None:
+                self._connect()
+            self._send({"op": "drain"})
+            self._read()  # the ok/ack — or a closed connection
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._close()
+
+    def close(self) -> None:
+        """Graceful goodbye (outstanding work is deliberately orphaned)."""
+        try:
+            if self._sock is not None:
+                self._send({"op": "bye"})
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._close()
+
+    def __enter__(self) -> "SweepClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

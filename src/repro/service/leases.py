@@ -1,0 +1,86 @@
+"""Lease tracking: time-bounded ownership of in-flight work.
+
+The sweep server grants each launched attempt a lease with a TTL equal
+to the resilience timeout.  A worker that finishes releases its lease;
+one that crashes or hangs lets the lease expire, and the server's
+sweeper kills the worker pool and resubmits the job with the same
+seeded backoff an in-process sweep would use.
+
+The table is pure bookkeeping: no clocks of its own (every call takes
+``now`` explicitly, so tests are deterministic and the server can use
+its event loop's monotonic clock), no threads, no I/O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Lease:
+    """One granted lease.  ``ttl=None`` never expires."""
+
+    key: str
+    holder: str
+    ttl: float | None
+    acquired_at: float
+    renewed_at: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {self.ttl!r}")
+        if not self.renewed_at:
+            self.renewed_at = self.acquired_at
+
+    @property
+    def deadline(self) -> float:
+        if self.ttl is None:
+            return math.inf
+        return self.renewed_at + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+class LeaseTable:
+    """All outstanding leases, keyed by job key (fingerprint)."""
+
+    def __init__(self):
+        self._leases: dict[str, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._leases
+
+    def get(self, key: str) -> Lease | None:
+        return self._leases.get(key)
+
+    def acquire(
+        self, key: str, ttl: float | None, now: float, holder: str = ""
+    ) -> Lease:
+        """Grant (or replace — re-grants are deliberate) a lease."""
+        lease = Lease(key=key, holder=holder, ttl=ttl, acquired_at=now)
+        self._leases[key] = lease
+        return lease
+
+    def renew(self, key: str, now: float) -> bool:
+        """Heartbeat: push the deadline out.  False if no such lease."""
+        lease = self._leases.get(key)
+        if lease is None:
+            return False
+        lease.renewed_at = now
+        return True
+
+    def release(self, key: str) -> Lease | None:
+        """Drop a lease (worker finished, or cleanup)."""
+        return self._leases.pop(key, None)
+
+    def expired(self, now: float) -> list[Lease]:
+        """Expired leases, in deterministic (key) order."""
+        return sorted(
+            (lease for lease in self._leases.values() if lease.expired(now)),
+            key=lambda lease: lease.key,
+        )

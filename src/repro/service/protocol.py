@@ -1,0 +1,119 @@
+"""Wire protocol of the sweep service: newline-delimited JSON frames.
+
+One JSON object per line ("NDJSON"), UTF-8, ``\\n``-terminated.  Every
+frame is a dict with an ``"op"`` key; unknown *ops* are answered with an
+``error`` frame (a server must keep talking to old clients), while
+unknown *request fields* are rejected loudly (a submission the server
+silently misreads would be cached under the wrong fingerprint).
+
+Client → server ops:
+
+* ``hello {name}`` — optional introduction, shown in server logs.
+* ``submit {sweep, requests: [<request dict>, ...]}`` — submit a sweep
+  of run requests.  Answered with ``accepted``, then one ``result`` or
+  ``point-failed`` per distinct fingerprint, then ``sweep-done``.
+* ``status {}`` — server stats, job table sizes and the
+  execution-count provenance (fingerprint → times simulated).
+* ``heartbeat {t}`` — liveness probe, echoed back.
+* ``drain {}`` — ask the server to drain (same path as SIGTERM).
+* ``bye {}`` — graceful goodbye; anything still pending is orphaned
+  deliberately (it keeps running and lands in the shared store).
+
+Server → client ops: ``welcome``, ``accepted``, ``result``,
+``point-failed``, ``sweep-done``, ``status``, ``heartbeat``, ``ok``,
+``draining``, ``error``.
+
+Requests travel as their ``dataclasses.asdict`` form and are rebuilt
+with :func:`request_from_wire`; both sides compute fingerprints from
+their own source tree, and the client cross-checks the server's
+``accepted.fingerprints`` against its own so a code-version skew is a
+loud protocol error instead of a silently split cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.analysis.runner import RunRequest
+
+#: Bumped on incompatible frame-shape changes; exchanged in ``welcome``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame.  A full 88-point sweep submission is ~20 kB
+#: and a result frame a few kB; the bound exists to fail fast on a
+#: corrupt stream, not to be approached.  Servers pass it as the asyncio
+#: stream ``limit`` (the default 64 kB readline limit is too small for
+#: batch submissions).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame, or a frame that violates the protocol."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One frame: compact JSON, newline-terminated."""
+    blob = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    frame = blob.encode() + b"\n"
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return frame
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame; every violation is a :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty frame")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    if not isinstance(message.get("op"), str):
+        raise ProtocolError("frame has no 'op' string")
+    return message
+
+
+_REQUEST_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(RunRequest)
+)
+
+
+def request_to_wire(request: RunRequest) -> dict:
+    """A request's wire form (plain JSON-able dict)."""
+    return dataclasses.asdict(request)
+
+
+def request_from_wire(payload) -> RunRequest:
+    """Rebuild a :class:`RunRequest` from its wire form.
+
+    Unknown fields are rejected: a field this side doesn't know would
+    change the fingerprint on a newer peer, and caching a result under
+    a fingerprint that ignores part of the request is corruption.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise ProtocolError(f"unknown request field(s): {', '.join(unknown)}")
+    try:
+        return RunRequest(**payload)
+    except TypeError as exc:
+        raise ProtocolError(f"incomplete request: {exc}") from exc
+    except ValueError as exc:
+        raise ProtocolError(f"invalid request: {exc}") from exc

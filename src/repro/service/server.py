@@ -1,0 +1,974 @@
+"""The sweep service: a multi-tenant scheduler over the resilient runner.
+
+``SweepService`` is an asyncio daemon that accepts sweep submissions
+from many concurrent clients (``repro.service.client``, or anything
+speaking :mod:`repro.service.protocol`), shards fingerprinted
+:class:`~repro.analysis.runner.RunRequest`\\ s across a local worker
+pool, and streams results into the shared content-addressed
+:class:`~repro.analysis.runner.ResultStore` — the same runcache the
+in-process :class:`~repro.analysis.runner.Runner` reads and writes, so
+a sweep served here is a warm cache for ``run_experiments.py`` and
+vice versa.
+
+Every failure mode has an explicit mechanism:
+
+* **Single-flight dedup** — one :class:`Job` per fingerprint, no matter
+  how many clients ask; later submitters subscribe to the in-flight
+  job and receive the one result.  The durable execution log
+  (``service-executions.jsonl``) records each completed simulation, so
+  exactly-once execution is *provable* from disk, across restarts.
+* **Leases** — every launched attempt holds a lease (TTL = the
+  resilience timeout).  A crashed or hung worker lets its lease
+  expire; the sweeper kills the pool and the job retries with the same
+  deterministic seeded backoff an in-process sweep would use.
+* **Retries and pool breaks** — worker death surfaces as
+  ``BrokenProcessPool``; the pool is rebuilt, collateral jobs requeue
+  uncharged, the victim is charged one attempt.  Too many consecutive
+  breaks degrade execution to a single in-process worker
+  (PR-4 semantics: no lease preemption there).
+* **Client disconnects** — submissions whose client vanished are
+  orphaned, not cancelled: they run to completion and land in the
+  store, so a reconnecting client gets a warm hit.
+* **Graceful drain** — SIGTERM (or a ``drain`` frame) stops accepting
+  work, finishes what's in flight, flushes stats, exits 0.
+* **Crash restart** — all durable state *is* the store; a restarted
+  server re-serves every finished point from cache without
+  recomputation.
+
+Chaos coverage: ``FaultPlan.drops_connection`` lets the server abort a
+result delivery mid-wire (deterministically, first delivery only), and
+``scripts/service_smoke.py`` drives the whole matrix — worker crashes,
+hangs, injected disconnects, and a mid-sweep server SIGKILL — to a
+bit-identical report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis import runner as runner_module
+from repro.analysis.resilience import (
+    FailureRecord,
+    ResilienceConfig,
+    backoff_delay,
+    describe_request,
+    is_transient,
+)
+from repro.analysis.runner import (
+    ResultStore,
+    RunRequest,
+    read_checked_json,
+    write_checked_json,
+)
+from repro.service import protocol
+from repro.service.leases import LeaseTable
+from repro.verify import faultinject
+
+#: Durable state the service keeps beside the cache entries.
+STATS_FILENAME = "service-stats.json"
+EXECUTIONS_FILENAME = "service-executions.jsonl"
+ENDPOINT_FILENAME = "service-endpoint.json"
+
+#: Cache-dir entries that are bookkeeping, not simulation points, and
+#: therefore must not count as recovered work after a restart.
+_NON_POINT_PREFIXES = ("service-", "artifact-", "sweep-checkpoint")
+
+
+def _worker_init() -> None:
+    """Detach pool workers from the server's signal plumbing.
+
+    The pool uses the ``spawn`` start method (see :meth:`_executor`),
+    so workers normally start clean.  This initializer is defence in
+    depth for any start method that forks: a forked worker inherits the
+    event loop's C-level signal handler *and* its wakeup fd, so a
+    SIGTERM aimed at a worker — which ``concurrent.futures`` sends to
+    the survivors every time a crashed sibling breaks the pool — would
+    be written into the shared wakeup pipe and replayed by the parent's
+    loop as a *server* SIGTERM, draining the whole service on the first
+    worker crash.  Reset both so a worker signal stays a worker signal.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How to run one sweep server."""
+
+    #: The shared result store directory (created if missing).
+    cache_dir: str
+    #: Unix-domain socket path; ``None`` listens on TCP instead.
+    socket_path: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in the endpoint file
+    #: Worker processes for cache-missing simulations.
+    jobs: int = 2
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Scheduler tick: lease sweep + retry-queue poll period, seconds.
+    lease_poll: float = 0.25
+    #: Longest a drain waits for in-flight work before abandoning it
+    #: (completed points are already cached either way).
+    drain_grace: float = 600.0
+    name: str = "sweep-service"
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.lease_poll <= 0:
+            raise ValueError("lease_poll must be positive")
+
+
+@dataclass
+class ServiceStats:
+    """What the service did on behalf of its clients."""
+
+    clients: int = 0             # connections accepted
+    sweeps: int = 0              # submit frames handled
+    submissions: int = 0         # request dicts received (pre-dedup)
+    warm_hits: int = 0           # points served from the on-disk store
+    memo_hits: int = 0           # points served from a finished job
+    joined_inflight: int = 0     # submissions attached to an in-flight job
+    scheduled: int = 0           # jobs actually queued for execution
+    executed: int = 0            # simulations completed by this process
+    retries: int = 0             # attempts re-scheduled after a failure
+    lease_expiries: int = 0      # leases expired (hung/killed workers)
+    pool_breaks: int = 0         # spontaneous worker-pool deaths
+    degraded: int = 0            # fell back to in-process execution
+    failed_points: int = 0       # jobs that failed permanently
+    corrupt_quarantined: int = 0  # store entries quarantined on read
+    cache_write_errors: int = 0  # results that could not be persisted
+    injected_disconnects: int = 0  # FaultPlan-aborted result deliveries
+    client_disconnects: int = 0  # connections lost without a bye
+    orphaned_jobs: int = 0       # jobs whose last subscriber vanished
+    recovered_points: int = 0    # finished points found on startup
+
+    def snapshot(self) -> dict:
+        return asdict(self)
+
+
+class Job:
+    """One fingerprint's execution state — the single-flight unit."""
+
+    __slots__ = (
+        "request", "fingerprint", "state", "attempt", "failures",
+        "not_before", "overdue", "subscribers", "payload",
+    )
+
+    def __init__(self, request: RunRequest, fingerprint: str):
+        self.request = request
+        self.fingerprint = fingerprint
+        #: "queued" | "waiting" (backoff) | "running" | "done" | "failed"
+        self.state = "queued"
+        self.attempt = 0
+        self.failures: list[FailureRecord] = []
+        self.not_before = 0.0
+        #: Set when this job's lease expired (its worker was killed
+        #: deliberately); the resulting pool break charges *this* job a
+        #: timeout-style failure instead of a collateral requeue.
+        self.overdue = False
+        #: ``(connection, sweep_id)`` pairs awaiting the verdict.
+        self.subscribers: list[tuple] = []
+        #: The worker payload (``{"elapsed", "result", "attempt"}``)
+        #: once done — kept so late subscribers are memo hits.
+        self.payload: dict | None = None
+
+
+class SweepState:
+    """One client's submitted sweep: which fingerprints are still due."""
+
+    __slots__ = ("sweep_id", "pending", "failed", "done_sent")
+
+    def __init__(self, sweep_id: str):
+        self.sweep_id = sweep_id
+        self.pending: set[str] = set()
+        self.failed: list[str] = []
+        self.done_sent = False
+
+
+class Connection:
+    """One client connection (write side + per-connection state)."""
+
+    __slots__ = ("writer", "name", "alive", "closed", "sweeps")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.name = ""
+        self.alive = True
+        self.closed = False
+        self.sweeps: dict[str, SweepState] = {}
+
+    def send(self, message: dict) -> None:
+        """Queue one frame (never raises; a dead peer marks us dead)."""
+        if not self.alive:
+            return
+        try:
+            self.writer.write(protocol.encode_frame(message))
+        except (protocol.ProtocolError, OSError, RuntimeError):
+            self.alive = False
+
+    def abort(self) -> None:
+        """Hard-drop the connection (fault injection, drain timeout)."""
+        self.alive = False
+        with contextlib.suppress(Exception):
+            self.writer.transport.abort()
+
+    async def drain_writes(self) -> None:
+        if not self.alive:
+            return
+        try:
+            await self.writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            self.alive = False
+
+
+class SweepService:
+    """See the module docstring.  Drive with :func:`serve`, or embed:
+
+    >>> service = SweepService(config)
+    >>> await service.start()        # binds, recovers, schedules
+    >>> await service.drain("test")  # finish in-flight, flush stats
+    >>> await service.shutdown()     # tear down pools and listeners
+    """
+
+    def __init__(self, config: ServiceConfig, worker=None):
+        self.config = config
+        self.store = ResultStore(config.cache_dir)
+        self.stats = ServiceStats()
+        self.leases = LeaseTable()
+        #: Fingerprint → times executed *by this process*; the durable
+        #: union across restarts lives in the execution log.
+        self.execution_counts: dict[str, int] = {}
+        self.endpoint: dict | None = None
+        self._worker = worker  # None = late-bound runner.pool_execute
+        self._jobs: dict[str, Job] = {}
+        self._runnable: deque[Job] = deque()
+        self._waiting: list[Job] = []
+        self._running: dict[str, Job] = {}
+        self._connections: set[Connection] = set()
+        self._delivery_counts: dict[str, int] = {}
+        self._pool = None
+        self._pool_generation = 0
+        self._lease_kills: set[int] = set()
+        self._consecutive_breaks = 0
+        self._degraded = False
+        self._draining = False
+        self._drain_reason = ""
+        self._sweep_counter = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._attempt_tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+
+    # ----- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, recover state from the store, start scheduling."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        scan = self.store.scan()
+        self.stats.recovered_points = self._count_recovered_points()
+        self._log(
+            f"store {self.config.cache_dir}: "
+            f"{self.stats.recovered_points} finished points recovered, "
+            f"{len(scan['corrupt'])} corrupt (quarantined on access), "
+            f"{len(scan['quarantined'])} already quarantined"
+        )
+        if self.config.socket_path:
+            path = self.config.socket_path
+            # A SIGKILLed predecessor leaves a stale socket file behind;
+            # unlinking it is the unix idiom for "the name is the
+            # service, the inode is the instance".
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=path,
+                limit=protocol.MAX_FRAME_BYTES,
+            )
+            self.endpoint = {"kind": "unix", "path": path}
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port, limit=protocol.MAX_FRAME_BYTES,
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.endpoint = {
+                "kind": "tcp", "host": bound[0], "port": bound[1],
+            }
+        try:
+            write_checked_json(
+                os.path.join(self.config.cache_dir, ENDPOINT_FILENAME),
+                {
+                    "endpoint": self.endpoint,
+                    "pid": os.getpid(),
+                    "proto": protocol.PROTOCOL_VERSION,
+                },
+            )
+        except OSError:
+            pass  # advisory only; clients can be pointed at the socket
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+        self._log(f"listening on {self.endpoint} (pid {os.getpid()})")
+
+    async def drain(self, reason: str = "drain") -> None:
+        """Stop accepting, finish in-flight work, flush, signal done."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_reason = reason
+        outstanding = len(self._runnable) + len(self._waiting) + len(self._running)
+        self._log(
+            f"draining ({reason}): {outstanding} jobs in flight, "
+            "no new submissions"
+        )
+        if self._server is not None:
+            self._server.close()
+        deadline = self._loop.time() + self.config.drain_grace
+        while (
+            (self._runnable or self._waiting or self._running)
+            and self._loop.time() < deadline
+        ):
+            self._wake.set()
+            await asyncio.sleep(min(self.config.lease_poll, 0.25))
+        abandoned = len(self._runnable) + len(self._waiting) + len(self._running)
+        if abandoned:
+            self._log(
+                f"drain grace expired; abandoning {abandoned} unfinished "
+                "jobs (completed points are already cached)"
+            )
+        self.flush_stats(drained=True)
+        for conn in list(self._connections):
+            conn.send({"op": "draining", "reason": reason})
+            with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+                await conn.drain_writes()
+        self._log(f"drained; stats: {self.stats.snapshot()}")
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Tear everything down (idempotent; safe after drain)."""
+        self._stopped.set()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scheduler_task
+            self._scheduler_task = None
+        for task in list(self._attempt_tasks):
+            task.cancel()
+        if self._attempt_tasks:
+            await asyncio.gather(*self._attempt_tasks, return_exceptions=True)
+        self._retire_pool(self._pool_generation)
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        if self.config.socket_path:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+        for conn in list(self._connections):
+            conn.abort()
+        self._connections.clear()
+        # Let handler tasks observe the aborted transports and exit on
+        # their own.  If the event loop's teardown cancelled them
+        # instead, 3.11's asyncio.streams would call task.exception()
+        # on the cancelled tasks and log spurious tracebacks.
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+
+    def _count_recovered_points(self) -> int:
+        """Readable finished *points* in the store (restart recovery)."""
+        recovered = 0
+        try:
+            names = sorted(os.listdir(self.config.cache_dir))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json") or name.startswith(
+                _NON_POINT_PREFIXES
+            ):
+                continue
+            path = os.path.join(self.config.cache_dir, name)
+            if read_checked_json(path)[1] == "ok":
+                recovered += 1
+        return recovered
+
+    def flush_stats(self, drained: bool = False) -> None:
+        """Persist a checksummed stats + execution-count snapshot."""
+        payload = {
+            "stats": self.stats.snapshot(),
+            "executions": dict(self.execution_counts),
+            "drained": drained,
+            "reason": self._drain_reason,
+            "endpoint": self.endpoint,
+            "pid": os.getpid(),
+            "saved_at": time.time(),
+        }
+        try:
+            write_checked_json(
+                os.path.join(self.config.cache_dir, STATS_FILENAME), payload
+            )
+        except OSError:
+            pass  # stats are provenance, not correctness
+
+    def _log(self, message: str) -> None:
+        print(f"[{self.config.name}] {message}", flush=True)
+
+    # ----- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        conn = Connection(writer)
+        self._connections.add(conn)
+        self.stats.clients += 1
+        conn.send({
+            "op": "welcome",
+            "proto": protocol.PROTOCOL_VERSION,
+            "server": {
+                "name": self.config.name,
+                "pid": os.getpid(),
+                "draining": self._draining,
+            },
+        })
+        graceful = False
+        try:
+            while conn.alive:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_frame(line)
+                except protocol.ProtocolError as exc:
+                    conn.send({
+                        "op": "error", "error": "protocol",
+                        "message": str(exc),
+                    })
+                    await conn.drain_writes()
+                    continue
+                if self._dispatch(conn, message):
+                    graceful = True
+                    break
+                await conn.drain_writes()
+        except (ConnectionError, OSError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            self._detach(conn, graceful)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _dispatch(self, conn: Connection, message: dict) -> bool:
+        """Handle one frame; True means a graceful goodbye."""
+        op = message["op"]
+        if op == "hello":
+            conn.name = str(message.get("name", ""))[:80]
+            self._log(f"client {conn.name or '(anonymous)'} connected")
+        elif op == "submit":
+            try:
+                self._handle_submit(conn, message)
+            except protocol.ProtocolError as exc:
+                conn.send({
+                    "op": "error", "error": "bad-submit",
+                    "message": str(exc),
+                })
+        elif op == "status":
+            self._send_status(conn)
+        elif op == "heartbeat":
+            conn.send({"op": "heartbeat", "t": message.get("t")})
+        elif op == "drain":
+            conn.send({"op": "ok", "acked": "drain"})
+            asyncio.ensure_future(self.drain("client request"))
+        elif op == "bye":
+            return True
+        else:
+            conn.send({
+                "op": "error", "error": "unknown-op",
+                "message": f"unknown op {op!r}",
+            })
+        return False
+
+    def _handle_submit(self, conn: Connection, message: dict) -> None:
+        if self._draining:
+            conn.send({
+                "op": "error", "error": "draining",
+                "message": "server is draining; not accepting submissions",
+            })
+            return
+        raw = message.get("requests")
+        if not isinstance(raw, list) or not raw:
+            raise protocol.ProtocolError(
+                "submit needs a non-empty 'requests' list"
+            )
+        requests = [protocol.request_from_wire(entry) for entry in raw]
+        self._sweep_counter += 1
+        sweep_id = str(message.get("sweep") or f"sweep-{self._sweep_counter}")
+        sweep = SweepState(sweep_id)
+        conn.sweeps[sweep_id] = sweep
+        self.stats.sweeps += 1
+        self.stats.submissions += len(requests)
+        fingerprints = []
+        deliver_now: list[tuple[str, dict]] = []
+        cached = joined = scheduled = 0
+        seen: set[str] = set()
+        for request in requests:
+            fingerprint = self.store.fingerprint_of(request)
+            fingerprints.append(fingerprint)
+            if fingerprint in seen:
+                continue  # duplicate inside one sweep: one verdict
+            seen.add(fingerprint)
+            job = self._jobs.get(fingerprint)
+            if job is not None and job.state == "done":
+                # Finished since its store write — a memo hit.
+                cached += 1
+                self.stats.memo_hits += 1
+                deliver_now.append((fingerprint, {
+                    "source": "memo",
+                    "attempts": job.attempt + 1,
+                    "sim_seconds": job.payload["elapsed"],
+                    "result": job.payload["result"],
+                }))
+                continue
+            if job is not None and job.state != "failed":
+                # Single flight: attach to the in-flight job.
+                joined += 1
+                self.stats.joined_inflight += 1
+                job.subscribers.append((conn, sweep_id))
+                sweep.pending.add(fingerprint)
+                continue
+            payload, status = self.store.load(fingerprint)
+            if status == "corrupt":
+                self.stats.corrupt_quarantined += 1
+            if status == "ok":
+                cached += 1
+                self.stats.warm_hits += 1
+                deliver_now.append((fingerprint, {
+                    "source": "cache",
+                    "attempts": 0,
+                    "sim_seconds": float(payload.get("sim_seconds", 0.0)),
+                    "result": payload["result"],
+                }))
+                continue
+            # Fresh work — or a retry of a permanently-failed job, which
+            # deliberately gets a fresh attempt budget.
+            job = Job(request, fingerprint)
+            job.subscribers.append((conn, sweep_id))
+            self._jobs[fingerprint] = job
+            self._runnable.append(job)
+            sweep.pending.add(fingerprint)
+            scheduled += 1
+            self.stats.scheduled += 1
+        conn.send({
+            "op": "accepted",
+            "sweep": sweep_id,
+            "points": len(requests),
+            "fingerprints": fingerprints,
+            "cached": cached,
+            "joined": joined,
+            "scheduled": scheduled,
+        })
+        for fingerprint, body in deliver_now:
+            self._send_result(conn, sweep_id, fingerprint, body)
+        self._maybe_finish_sweep(conn, sweep)
+        self._wake.set()
+
+    def _send_status(self, conn: Connection) -> None:
+        states: dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        conn.send({
+            "op": "status",
+            "stats": self.stats.snapshot(),
+            "jobs": states,
+            "leases": len(self.leases),
+            "executions": dict(self.execution_counts),
+            "degraded": self._degraded,
+            "draining": self._draining,
+        })
+
+    def _send_result(
+        self, conn: Connection, sweep_id: str, fingerprint: str, body: dict
+    ) -> None:
+        """Deliver one result frame — unless chaos drops the wire."""
+        delivery = self._delivery_counts.get(fingerprint, 0)
+        self._delivery_counts[fingerprint] = delivery + 1
+        plan = faultinject.active_plan()
+        if plan is not None and plan.drops_connection(fingerprint, delivery):
+            self.stats.injected_disconnects += 1
+            self._log(
+                f"chaos: dropping connection on delivery of "
+                f"{fingerprint[:12]}"
+            )
+            conn.abort()
+            return
+        frame = {"op": "result", "sweep": sweep_id, "fingerprint": fingerprint}
+        frame.update(body)
+        conn.send(frame)
+
+    def _detach(self, conn: Connection, graceful: bool) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.alive = False
+        if not graceful and not self._draining:
+            self.stats.client_disconnects += 1
+            self._log(
+                f"client {conn.name or '(anonymous)'} vanished; "
+                "its submissions keep running"
+            )
+        # Orphan (never cancel) the jobs this client was waiting on:
+        # they finish and land in the store, so a reconnect is warm.
+        for job in self._jobs.values():
+            if not job.subscribers:
+                continue
+            before = len(job.subscribers)
+            job.subscribers = [
+                (c, s) for (c, s) in job.subscribers if c is not conn
+            ]
+            if before and not job.subscribers and job.state not in (
+                "done", "failed"
+            ):
+                self.stats.orphaned_jobs += 1
+        conn.sweeps.clear()
+        self._connections.discard(conn)
+
+    def _maybe_finish_sweep(self, conn: Connection, sweep: SweepState) -> None:
+        if sweep.pending or sweep.done_sent:
+            return
+        sweep.done_sent = True
+        conn.send({
+            "op": "sweep-done",
+            "sweep": sweep.sweep_id,
+            "failed": sorted(sweep.failed),
+        })
+
+    # ----- scheduling -------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while not self._stopped.is_set():
+            now = self._loop.time()
+            if self._waiting:
+                due = [job for job in self._waiting if job.not_before <= now]
+                for job in sorted(due, key=lambda j: j.fingerprint):
+                    self._waiting.remove(job)
+                    job.state = "queued"
+                    self._runnable.append(job)
+            while self._runnable and len(self._running) < self.config.jobs:
+                self._launch(self._runnable.popleft())
+            self._enforce_leases()
+            timeout = self.config.lease_poll
+            if self._waiting:
+                next_due = min(job.not_before for job in self._waiting)
+                timeout = min(timeout, max(0.01, next_due - self._loop.time()))
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._wake.wait(), timeout=timeout)
+            self._wake.clear()
+
+    def _launch(self, job: Job) -> None:
+        job.state = "running"
+        job.overdue = False
+        self._running[job.fingerprint] = job
+        ttl = None if self._degraded else self.config.resilience.timeout
+        self.leases.acquire(
+            job.fingerprint, ttl=ttl, now=self._loop.time(),
+            holder=f"attempt-{job.attempt}",
+        )
+        task = asyncio.create_task(self._attempt(job))
+        self._attempt_tasks.add(task)
+        task.add_done_callback(self._attempt_tasks.discard)
+
+    def _executor(self):
+        if self._degraded:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                # In-process fallback: hangs can no longer be preempted
+                # (PR-4 degraded semantics), but injected crashes become
+                # catchable SimulatedWorkerCrash exceptions.
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="svc-serial"
+                )
+            return self._pool
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # ``spawn``, not ``fork``: a forked worker would inherit the
+            # server's whole fd table — the listening socket and every
+            # accepted connection.  Those copies keep sockets alive in
+            # the kernel behind the event loop's back: a "closed"
+            # listener stays connectable after drain, an abort()ed
+            # connection never resets, and a client's EOF is not seen
+            # until the worker holding the duplicate fd exits.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.jobs,
+                initializer=_worker_init,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def _retire_pool(self, generation: int) -> None:
+        """Discard the current pool exactly once per generation."""
+        if generation != self._pool_generation:
+            return  # a sibling attempt already retired it
+        self._pool_generation += 1
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(
+            (getattr(pool, "_processes", None) or {}).values()
+        ):
+            with contextlib.suppress(OSError, AttributeError):
+                process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _enforce_leases(self) -> None:
+        ttl = self.config.resilience.timeout
+        if ttl is None or self._degraded:
+            return
+        now = self._loop.time()
+        expired = self.leases.expired(now)
+        if not expired:
+            return
+        overdue = []
+        for lease in expired:
+            job = self._running.get(lease.key)
+            if job is None:
+                self.leases.release(lease.key)  # stale entry; worker done
+                continue
+            overdue.append(job)
+        if not overdue:
+            return
+        for job in overdue:
+            if job.overdue:
+                continue
+            job.overdue = True
+            self.stats.lease_expiries += 1
+            self._log(
+                f"lease expired for {describe_request(job.request)} "
+                f"({job.fingerprint[:12]}, attempt {job.attempt}); "
+                "killing its worker"
+            )
+        # Killing the worker kills the whole pool (the lease's worker is
+        # anonymous inside the executor); collateral attempts requeue
+        # uncharged below.
+        self._lease_kills.add(self._pool_generation)
+        self._retire_pool(self._pool_generation)
+
+    # ----- execution --------------------------------------------------------
+
+    async def _attempt(self, job: Job) -> None:
+        loop = self._loop
+        args = (
+            job.request, self.store.trace_dir, job.attempt, job.fingerprint,
+        )
+        # The worker callable is late-bound so a test double installed
+        # over runner.pool_execute applies here too.
+        worker = self._worker or runner_module.pool_execute
+        generation = self._pool_generation
+        started = loop.time()
+        try:
+            payload = await loop.run_in_executor(
+                self._executor(), worker, args
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # BrokenProcessPool, worker errors, ...
+            self._attempt_failed(job, exc, generation, loop.time() - started)
+        else:
+            self._consecutive_breaks = 0
+            self._job_succeeded(job, payload)
+        finally:
+            self.leases.release(job.fingerprint)
+            self._running.pop(job.fingerprint, None)
+            self._wake.set()
+
+    def _attempt_failed(
+        self, job: Job, exc: BaseException, generation: int, elapsed: float
+    ) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        if isinstance(exc, BrokenProcessPool):
+            deliberate = generation in self._lease_kills
+            first_report = generation == self._pool_generation
+            self._retire_pool(generation)
+            if first_report and not deliberate:
+                # A spontaneous worker death; count the break once per
+                # generation, not once per collateral attempt.
+                self.stats.pool_breaks += 1
+                self._consecutive_breaks += 1
+                if (
+                    self._consecutive_breaks
+                    >= self.config.resilience.pool_break_limit
+                    and not self._degraded
+                ):
+                    self._degraded = True
+                    self.stats.degraded += 1
+                    self._log(
+                        f"{self._consecutive_breaks} consecutive pool "
+                        "breaks; degrading to in-process execution"
+                    )
+            if job.overdue:
+                ttl = self.config.resilience.timeout
+                self._charge(
+                    job, kind="timeout", error="LeaseExpired",
+                    message=(
+                        f"worker lease expired after {ttl:g}s; "
+                        "worker killed"
+                    ),
+                    elapsed=elapsed,
+                )
+            elif deliberate:
+                # Collateral damage of a lease kill: requeue, uncharged.
+                job.state = "queued"
+                job.overdue = False
+                self._runnable.append(job)
+            else:
+                self._charge(
+                    job, kind="pool", error="BrokenProcessPool",
+                    message="a worker process died; pool restarted",
+                    elapsed=elapsed,
+                )
+            return
+        kind = (
+            "crash"
+            if isinstance(exc, faultinject.SimulatedWorkerCrash)
+            else "error"
+        )
+        self._charge(
+            job, kind=kind, error=type(exc).__name__, message=str(exc),
+            elapsed=elapsed, retriable=is_transient(exc),
+        )
+
+    def _charge(
+        self,
+        job: Job,
+        *,
+        kind: str,
+        error: str,
+        message: str,
+        elapsed: float,
+        retriable: bool = True,
+    ) -> None:
+        """Record one failed attempt; retry with seeded backoff or fail."""
+        job.failures.append(FailureRecord(
+            kind=kind, error=error, message=message,
+            attempt=job.attempt, elapsed=round(elapsed, 3),
+        ))
+        job.attempt += 1
+        job.overdue = False
+        policy = self.config.resilience
+        if retriable and job.attempt < policy.max_attempts:
+            self.stats.retries += 1
+            delay = backoff_delay(policy, job.fingerprint, job.attempt)
+            job.not_before = self._loop.time() + delay
+            job.state = "waiting"
+            self._waiting.append(job)
+            return
+        job.state = "failed"
+        self.stats.failed_points += 1
+        self._log(
+            f"point {describe_request(job.request)} failed permanently "
+            f"after {job.attempt} attempt(s): {error}: {message}"
+        )
+        self._resolve(job)
+
+    def _job_succeeded(self, job: Job, payload: dict) -> None:
+        fingerprint = job.fingerprint
+        self.stats.executed += 1
+        stored = self.store.store(
+            fingerprint,
+            asdict(job.request),
+            payload["result"],
+            payload["elapsed"],
+            payload.get("attempt", 0),
+        )
+        if not stored:
+            self.stats.cache_write_errors += 1
+        # Log *after* the store write: across a SIGKILL+restart each
+        # fingerprint is logged at most once (killed mid-execution →
+        # never logged → re-executed once; stored → warm hit forever).
+        self.execution_counts[fingerprint] = (
+            self.execution_counts.get(fingerprint, 0) + 1
+        )
+        self._log_execution(fingerprint, payload)
+        job.payload = payload
+        job.state = "done"
+        self._resolve(job)
+
+    def _log_execution(self, fingerprint: str, payload: dict) -> None:
+        record = {
+            "fingerprint": fingerprint,
+            "attempt": payload.get("attempt", 0),
+            "elapsed": payload.get("elapsed"),
+            "pid": os.getpid(),
+        }
+        path = os.path.join(self.config.cache_dir, EXECUTIONS_FILENAME)
+        try:
+            with open(path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            self.stats.cache_write_errors += 1
+
+    def _resolve(self, job: Job) -> None:
+        """Fan the verdict out to every subscriber."""
+        subscribers, job.subscribers = job.subscribers, []
+        for conn, sweep_id in subscribers:
+            sweep = conn.sweeps.get(sweep_id)
+            if sweep is None or not conn.alive:
+                continue
+            if job.state == "done":
+                self._send_result(conn, sweep_id, job.fingerprint, {
+                    "source": "executed",
+                    "attempts": job.attempt + 1,
+                    "sim_seconds": job.payload["elapsed"],
+                    "result": job.payload["result"],
+                })
+            else:
+                conn.send({
+                    "op": "point-failed",
+                    "sweep": sweep_id,
+                    "fingerprint": job.fingerprint,
+                    "attempts": job.attempt,
+                    "failures": [f.to_dict() for f in job.failures],
+                })
+                sweep.failed.append(job.fingerprint)
+            sweep.pending.discard(job.fingerprint)
+            self._maybe_finish_sweep(conn, sweep)
+
+
+async def serve(config: ServiceConfig) -> int:
+    """Run a service until drained (SIGTERM/SIGINT/drain frame); 0 = ok."""
+    service = SweepService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+
+    def _request_drain(signame: str) -> None:
+        asyncio.ensure_future(service.drain(signame))
+
+    for signame in ("SIGTERM", "SIGINT"):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(
+                getattr(signal, signame), _request_drain, signame
+            )
+    try:
+        await service.wait_stopped()
+    finally:
+        for signame in ("SIGTERM", "SIGINT"):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(getattr(signal, signame))
+        await service.shutdown()
+    return 0

@@ -9,6 +9,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.analysis.runner as runner_module
 from repro.analysis.resilience import (
@@ -33,6 +35,10 @@ from repro.verify.sanitizer import InvariantViolation
 SCALE = 1.2e-5
 
 FAST = ResilienceConfig(backoff_base=0.01, backoff_max=0.05)
+
+_SRC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
 
 
 def tiny(**overrides) -> RunRequest:
@@ -149,6 +155,88 @@ class TestBackoff:
         b = ResilienceConfig(backoff_seed=2)
         assert backoff_delay(a, "fp", 1) != backoff_delay(b, "fp", 1)
         assert backoff_delay(a, "fp1", 1) != backoff_delay(a, "fp2", 1)
+
+
+class TestBackoffProperties:
+    """Property coverage: the delay law the whole repo relies on.
+
+    Both the runner and the sweep service resubmit with
+    :func:`backoff_delay`; deterministic replay of a chaos run needs
+    the delay to be a pure function of (seed, fingerprint, attempt)
+    with a monotone, capped envelope.
+    """
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        fingerprint=st.text(min_size=1, max_size=64),
+        attempt=st.integers(1, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_and_monotone_bounded(
+        self, seed, fingerprint, attempt
+    ):
+        config = ResilienceConfig(backoff_seed=seed)
+        delay = backoff_delay(config, fingerprint, attempt)
+        assert delay == backoff_delay(config, fingerprint, attempt)
+        envelope = min(
+            config.backoff_max,
+            config.backoff_base * config.backoff_factor ** (attempt - 1),
+        )
+        assert 0.5 * envelope <= delay < 1.5 * envelope
+        assert delay < 1.5 * config.backoff_max
+        if attempt > 1:
+            previous = min(
+                config.backoff_max,
+                config.backoff_base
+                * config.backoff_factor ** (attempt - 2),
+            )
+            assert previous <= envelope  # the envelope never shrinks
+
+    @given(
+        triples=st.lists(
+            st.tuples(
+                st.integers(0, 2**16),
+                st.text(
+                    alphabet="0123456789abcdef", min_size=1, max_size=16
+                ),
+                st.integers(1, 16),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_stable_across_processes(self, triples):
+        # A service restart (or a client on another host) must compute
+        # the *same* delays: bit-exact, not just statistically similar.
+        import json
+        import subprocess
+        import sys
+
+        local = [
+            backoff_delay(
+                ResilienceConfig(backoff_seed=seed), fingerprint, attempt
+            ).hex()
+            for seed, fingerprint, attempt in triples
+        ]
+        program = (
+            "import json, sys\n"
+            "from repro.analysis.resilience import ("
+            "ResilienceConfig, backoff_delay)\n"
+            "triples = json.loads(sys.stdin.read())\n"
+            "print(json.dumps([backoff_delay("
+            "ResilienceConfig(backoff_seed=s), fp, a).hex() "
+            "for s, fp, a in triples]))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", program],
+            input=json.dumps(triples),
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": _SRC_PATH},
+            check=True,
+        )
+        assert json.loads(proc.stdout) == local
 
 
 class TestTransience:
@@ -435,6 +523,33 @@ class TestRunnerResilience:
         warm.run(good)
         assert warm.stats.disk_hits == 1
         assert warm.stats.simulated == 0
+
+    def test_hang_on_the_final_attempt_raises_instead_of_deadlocking(
+        self, tmp_path
+    ):
+        # The nastiest timing edge: the injected hang lands on the last
+        # attempt of the budget, so there is no retry left to save the
+        # point.  The timeout kill must still fire and the sweep must
+        # end in SweepFailure — not sleep out the 30 s hang, and not
+        # wait forever on a worker that will never report.
+        faultinject.install(FaultPlan(hang_fraction=1.0, hang_seconds=30.0))
+        # Two points + jobs=2 force pooled execution: only a pool can
+        # preempt a hang (a single-point batch runs serially, where a
+        # hang deliberately sleeps to completion).
+        runner = Runner(
+            cache_dir=str(tmp_path), jobs=2,
+            resilience=fast(timeout=0.5, max_attempts=1),
+        )
+        started = time.monotonic()
+        with pytest.raises(SweepFailure) as info:
+            runner.run_batch([tiny(), tiny(n_threads=4)])
+        assert time.monotonic() - started < 15.0, "hang was slept out"
+        assert len(info.value.failed) == 2
+        for outcome in info.value.failed:
+            assert outcome.failures[-1].kind == "timeout"
+        assert runner.stats.failed_points == 2
+        assert runner.stats.timeouts == 2
+        assert runner.stats.retries == 0  # the budget really was 1
 
     def test_faults_keyed_to_later_attempts_leave_attempt_zero_clean(
         self, tmp_path

@@ -1,0 +1,73 @@
+"""Lease bookkeeping: deterministic TTL tracking for in-flight work."""
+
+import pytest
+
+from repro.service.leases import Lease, LeaseTable
+
+
+class TestLease:
+    def test_expires_after_ttl(self):
+        lease = Lease(key="fp", holder="attempt-0", ttl=5.0, acquired_at=100.0)
+        assert not lease.expired(104.9)
+        assert lease.expired(105.0)
+
+    def test_none_ttl_never_expires(self):
+        lease = Lease(key="fp", holder="", ttl=None, acquired_at=0.0)
+        assert not lease.expired(1e12)
+
+    def test_renewal_pushes_the_deadline(self):
+        lease = Lease(key="fp", holder="", ttl=5.0, acquired_at=100.0)
+        lease.renewed_at = 103.0
+        assert lease.deadline == 108.0
+        assert not lease.expired(107.0)
+
+    def test_non_positive_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl"):
+            Lease(key="fp", holder="", ttl=0.0, acquired_at=0.0)
+        with pytest.raises(ValueError, match="ttl"):
+            Lease(key="fp", holder="", ttl=-1.0, acquired_at=0.0)
+
+
+class TestLeaseTable:
+    def test_acquire_release_lifecycle(self):
+        table = LeaseTable()
+        lease = table.acquire("fp", ttl=5.0, now=0.0, holder="attempt-0")
+        assert len(table) == 1
+        assert "fp" in table
+        assert table.get("fp") is lease
+        released = table.release("fp")
+        assert released is lease
+        assert len(table) == 0
+        assert table.release("fp") is None  # idempotent
+
+    def test_reacquire_replaces(self):
+        # A re-grant is deliberate (a retry attempt takes over the key).
+        table = LeaseTable()
+        table.acquire("fp", ttl=5.0, now=0.0, holder="attempt-0")
+        second = table.acquire("fp", ttl=5.0, now=10.0, holder="attempt-1")
+        assert len(table) == 1
+        assert table.get("fp") is second
+        assert not second.expired(14.0)
+
+    def test_renew_heartbeat(self):
+        table = LeaseTable()
+        table.acquire("fp", ttl=5.0, now=0.0)
+        assert table.renew("fp", now=4.0)
+        assert not table.get("fp").expired(8.0)
+        assert table.get("fp").expired(9.0)
+        assert not table.renew("ghost", now=0.0)
+
+    def test_expired_in_deterministic_key_order(self):
+        table = LeaseTable()
+        table.acquire("zz", ttl=1.0, now=0.0)
+        table.acquire("aa", ttl=1.0, now=0.0)
+        table.acquire("mm", ttl=50.0, now=0.0)
+        expired = table.expired(now=2.0)
+        assert [lease.key for lease in expired] == ["aa", "zz"]
+
+    def test_expired_keeps_unexpired_and_infinite(self):
+        table = LeaseTable()
+        table.acquire("degraded", ttl=None, now=0.0)
+        table.acquire("live", ttl=100.0, now=0.0)
+        assert table.expired(now=50.0) == []
+        assert len(table) == 2

@@ -1,0 +1,125 @@
+"""Wire protocol of the sweep service: framing, validation, round trips."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import RunRequest
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    request_from_wire,
+    request_to_wire,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "hello", "name": "client-a", "n": 3}
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_frames_are_newline_delimited(self):
+        frame = encode_frame({"op": "ok"})
+        assert frame.endswith(b"\n")
+        assert b"\n" not in frame[:-1]
+
+    def test_frames_are_canonical(self):
+        # Sorted keys + compact separators: identical messages yield
+        # identical bytes regardless of construction order.
+        a = encode_frame({"op": "x", "b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1, "op": "x"})
+        assert a == b
+        assert b": " not in a
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds the"):
+            encode_frame({"op": "x", "blob": "y" * MAX_FRAME_BYTES})
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="not UTF-8"):
+            decode_frame(b"\xff\xfe{}\n")
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_frame(b"{torn\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2]\n")
+
+    def test_decode_rejects_missing_op(self):
+        with pytest.raises(ProtocolError, match="'op'"):
+            decode_frame(b'{"name": "x"}\n')
+
+    def test_decode_rejects_non_string_op(self):
+        with pytest.raises(ProtocolError, match="'op'"):
+            decode_frame(b'{"op": 7}\n')
+
+
+class TestRequestWire:
+    def request(self, **overrides) -> RunRequest:
+        base = dict(isa="mmx", n_threads=2, scale=1e-5)
+        base.update(overrides)
+        return RunRequest(**base)
+
+    def test_round_trip_preserves_fingerprint(self):
+        request = self.request(
+            memory="decoupled", seed=3, sampling=(1000, 200, 50)
+        )
+        clone = request_from_wire(request_to_wire(request))
+        assert clone == request
+        assert clone.fingerprint() == request.fingerprint()
+
+    def test_round_trip_survives_json(self):
+        # The wire dict must be JSON-clean: tuples come back as lists
+        # and still reconstruct an equal request.
+        request = self.request(sampling=(1000, 200, 50))
+        wire = json.loads(json.dumps(request_to_wire(request)))
+        assert request_from_wire(wire) == request
+
+    def test_fetch_policy_travels_as_plain_string(self):
+        from repro.core.fetch import FetchPolicy
+
+        request = self.request(fetch_policy=FetchPolicy.ICOUNT)
+        wire = request_to_wire(request)
+        assert wire["fetch_policy"] == "icount"
+        assert request_from_wire(wire) == request
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            request_from_wire(["isa", "mmx"])
+
+    def test_rejects_unknown_fields(self):
+        wire = request_to_wire(self.request())
+        wire["bitcoin_miner"] = True
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            request_from_wire(wire)
+
+    def test_rejects_incomplete_request(self):
+        with pytest.raises(ProtocolError, match="incomplete request"):
+            request_from_wire({"isa": "mmx"})
+
+    def test_rejects_invalid_values(self):
+        wire = request_to_wire(self.request())
+        wire["backend"] = "quantum"
+        with pytest.raises(ProtocolError, match="invalid request"):
+            request_from_wire(wire)
+
+    def test_strategy_fields_never_move_the_fingerprint(self):
+        # window_jobs/backend travel (the dataclass carries them) but
+        # are execution strategy, not identity: a client and server
+        # disagreeing on them must still share one cache slot.
+        wire = request_to_wire(self.request())
+        assert set(wire) == set(protocol._REQUEST_FIELDS)
+        baseline = request_from_wire(dict(wire)).fingerprint()
+        wire["window_jobs"] = 4
+        wire["backend"] = "object"
+        assert request_from_wire(wire).fingerprint() == baseline
+
+
+class TestVersioning:
+    def test_protocol_version_is_one(self):
+        assert protocol.PROTOCOL_VERSION == 1

@@ -1,0 +1,418 @@
+"""The sweep service end to end: single-flight dedup, leases, recovery.
+
+Each test runs a real :class:`SweepService` on a unix socket inside
+``tmp_path`` and drives it with the synchronous :class:`SweepClient`
+from executor threads — the same wire path production uses, minus the
+subprocess layer (``scripts/service_smoke.py`` covers that).  Workers
+are injected module-level stubs so no simulation runs; the stubs are
+pickled by reference into the server's real process pool.
+"""
+
+import asyncio
+import functools
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.analysis.resilience import ResilienceConfig
+from repro.analysis.runner import RunRequest, read_checked_json
+from repro.service import (
+    ServiceConfig,
+    ServiceUnavailable,
+    SweepClient,
+    SweepService,
+)
+from repro.service.protocol import request_to_wire
+from repro.service.server import EXECUTIONS_FILENAME, STATS_FILENAME
+from repro.verify import faultinject
+from repro.verify.faultinject import FaultPlan
+
+FAST = ResilienceConfig(backoff_base=0.01, backoff_max=0.05)
+
+REQUESTS = [
+    RunRequest(isa="mmx", n_threads=n, scale=1e-5) for n in (1, 2, 4)
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faultinject.install(None)
+    yield
+    faultinject.install(None)
+
+
+# ----- stub workers (module level: the pool pickles them by reference) -------
+
+
+def _payload(args):
+    request, _trace_dir, attempt, fingerprint = args
+    return {
+        "elapsed": 0.01,
+        "result": {"point": fingerprint, "n": request.n_threads},
+        "attempt": attempt,
+    }
+
+
+def _ok_worker(args):
+    return _payload(args)
+
+
+def _slow_worker(args):
+    time.sleep(0.4)
+    return _payload(args)
+
+
+def _value_error_worker(args):
+    raise ValueError("deterministic model bug")
+
+
+def _crash_then_ok_worker(args):
+    _request, _trace_dir, attempt, _fingerprint = args
+    if attempt == 0:
+        if multiprocessing.parent_process() is not None:
+            os._exit(faultinject.CRASH_EXIT_CODE)
+        raise faultinject.SimulatedWorkerCrash("injected crash")
+    return _payload(args)
+
+
+def _hang_then_ok_worker(args):
+    _request, _trace_dir, attempt, _fingerprint = args
+    if attempt == 0:
+        time.sleep(30.0)
+    return _payload(args)
+
+
+# ----- harness ---------------------------------------------------------------
+
+
+def run_service(tmp_path, scenario, worker=_ok_worker, jobs=2,
+                resilience=FAST, timeout=60.0, **overrides):
+    """Run ``scenario(service, config)`` against a live service."""
+
+    async def main():
+        config = ServiceConfig(
+            cache_dir=str(tmp_path / "cache"),
+            socket_path=str(tmp_path / "svc.sock"),
+            jobs=jobs,
+            resilience=resilience,
+            lease_poll=0.05,
+            **overrides,
+        )
+        service = SweepService(config, worker=worker)
+        await service.start()
+        try:
+            return await asyncio.wait_for(
+                scenario(service, config), timeout=timeout
+            )
+        finally:
+            await service.shutdown()
+
+    return asyncio.run(main())
+
+
+async def call(fn, *args, **kwargs):
+    """Run a blocking client call off the event loop thread."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, functools.partial(fn, *args, **kwargs)
+    )
+
+
+async def wait_until(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"{message} never held"
+        await asyncio.sleep(0.05)
+
+
+def log_counts(cache_dir) -> dict:
+    import json
+
+    counts = {}
+    path = os.path.join(str(cache_dir), EXECUTIONS_FILENAME)
+    if os.path.exists(path):
+        with open(path) as handle:
+            for line in handle:
+                fingerprint = json.loads(line)["fingerprint"]
+                counts[fingerprint] = counts.get(fingerprint, 0) + 1
+    return counts
+
+
+# ----- behaviour -------------------------------------------------------------
+
+
+class TestExecution:
+    def test_sweep_executes_stores_and_logs_once(self, tmp_path):
+        async def scenario(service, config):
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS)
+            finally:
+                await call(client.close)
+            assert outcome.ok
+            assert outcome.sources == {"executed": 3}
+            assert service.stats.executed == 3
+            assert service.stats.scheduled == 3
+            # Execution provenance: one log line per point, and the
+            # result landed in the shared store under its fingerprint.
+            assert set(log_counts(config.cache_dir)) == set(
+                outcome.fingerprints
+            )
+            assert all(
+                n == 1 for n in log_counts(config.cache_dir).values()
+            )
+            for fingerprint in outcome.fingerprints:
+                payload, status = read_checked_json(
+                    os.path.join(config.cache_dir, f"{fingerprint}.json")
+                )
+                assert status == "ok"
+                assert payload["result"]["point"] == fingerprint
+
+        run_service(tmp_path, scenario)
+
+    def test_duplicate_points_in_one_sweep_get_one_verdict(self, tmp_path):
+        # SweepClient collapses duplicates before submitting, so drive
+        # raw frames to prove the *server* dedups within one sweep too.
+        async def scenario(service, config):
+            raw = SweepClient(config.socket_path, name="dup")
+            frames = []
+            try:
+                await call(raw._connect)
+                wire = request_to_wire(REQUESTS[0])
+                await call(raw._send, {
+                    "op": "submit", "sweep": "dups",
+                    "requests": [dict(wire), dict(wire), dict(wire)],
+                })
+                while True:
+                    frame = await call(raw._read)
+                    frames.append(frame)
+                    if frame["op"] == "sweep-done":
+                        break
+            finally:
+                await call(raw._close)
+            accepted = next(f for f in frames if f["op"] == "accepted")
+            assert accepted["points"] == 3
+            assert accepted["scheduled"] == 1
+            assert len(set(accepted["fingerprints"])) == 1
+            assert len([f for f in frames if f["op"] == "result"]) == 1
+            assert service.stats.submissions == 3
+            assert service.stats.scheduled == 1
+            assert service.stats.executed == 1
+
+        run_service(tmp_path, scenario)
+
+    def test_two_clients_same_sweep_single_flight(self, tmp_path):
+        async def scenario(service, config):
+            first = SweepClient(config.socket_path, name="a")
+            second = SweepClient(config.socket_path, name="b")
+            try:
+                race = asyncio.ensure_future(call(first.sweep, REQUESTS))
+                # Let the first submission land, then pile on while its
+                # jobs are still in flight (the worker sleeps 0.4 s).
+                await wait_until(
+                    lambda: service.stats.scheduled == 3,
+                    message="first submission scheduled",
+                )
+                chaser = await call(second.sweep, REQUESTS)
+                leader = await race
+            finally:
+                await call(first.close)
+                await call(second.close)
+            assert leader.ok and chaser.ok
+            # The headline guarantee: both sweeps were served, but each
+            # fingerprint was simulated exactly once.
+            assert service.stats.executed == 3
+            assert all(n == 1 for n in log_counts(config.cache_dir).values())
+            dedup = (
+                service.stats.joined_inflight
+                + service.stats.memo_hits
+                + service.stats.warm_hits
+            )
+            assert dedup >= 3
+
+        run_service(tmp_path, scenario, worker=_slow_worker)
+
+
+class TestFailureHandling:
+    def test_permanent_failure_reports_the_failure_chain(self, tmp_path):
+        async def scenario(service, config):
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS[:1])
+            finally:
+                await call(client.close)
+            assert not outcome.ok
+            assert not outcome.results
+            (frame,) = outcome.failed.values()
+            assert frame["failures"][-1]["error"] == "ValueError"
+            assert "deterministic model bug" in frame["failures"][-1]["message"]
+            assert service.stats.failed_points == 1
+            assert service.stats.retries == 0  # non-transient: no retry
+            assert log_counts(config.cache_dir) == {}
+
+        run_service(tmp_path, scenario, worker=_value_error_worker)
+
+    def test_worker_crash_breaks_pool_and_retries_to_success(self, tmp_path):
+        async def scenario(service, config):
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS)
+            finally:
+                await call(client.close)
+            assert outcome.ok
+            assert service.stats.pool_breaks >= 1
+            assert service.stats.retries >= 1
+            assert service.stats.failed_points == 0
+            assert all(n == 1 for n in log_counts(config.cache_dir).values())
+
+        run_service(
+            tmp_path, scenario, worker=_crash_then_ok_worker,
+            resilience=ResilienceConfig(
+                backoff_base=0.01, backoff_max=0.05, pool_break_limit=10
+            ),
+        )
+
+    def test_expired_lease_kills_the_hung_worker_and_resubmits(self, tmp_path):
+        async def scenario(service, config):
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS[:1])
+            finally:
+                await call(client.close)
+            assert outcome.ok
+            assert service.stats.lease_expiries >= 1
+            assert service.stats.retries >= 1
+            # The kill was deliberate — not booked as a spontaneous break.
+            assert service.stats.pool_breaks == 0
+            (frame,) = outcome.results.values()
+            assert frame["source"] == "executed"
+
+        run_service(
+            tmp_path, scenario, worker=_hang_then_ok_worker, jobs=1,
+            resilience=ResilienceConfig(
+                timeout=0.5, backoff_base=0.01, backoff_max=0.05
+            ),
+        )
+
+
+class TestClientFailover:
+    def test_injected_disconnect_is_redelivered_on_reconnect(self, tmp_path):
+        faultinject.install(FaultPlan(disconnect_fraction=1.0))
+
+        async def scenario(service, config):
+            client = SweepClient(
+                config.socket_path, name="t", retry_delay=0.05
+            )
+            try:
+                outcome = await call(client.sweep, REQUESTS[:2])
+            finally:
+                await call(client.close)
+            # Every fingerprint's *first* delivery was dropped on the
+            # floor; the client reconnected, resubmitted, and the
+            # redelivery (a memo/warm hit) sailed through.
+            assert outcome.ok
+            assert outcome.reconnects >= 1
+            assert service.stats.injected_disconnects >= 1
+            assert service.stats.executed == 2
+            assert all(n == 1 for n in log_counts(config.cache_dir).values())
+
+        run_service(tmp_path, scenario)
+
+    def test_orphaned_submission_runs_to_completion(self, tmp_path):
+        async def scenario(service, config):
+            rude = SweepClient(config.socket_path, name="rude")
+            await call(rude._connect)
+            await call(rude._send, {
+                "op": "submit",
+                "sweep": "orphaned",
+                "requests": [request_to_wire(r) for r in REQUESTS],
+            })
+            await wait_until(
+                lambda: service.stats.scheduled == 3,
+                message="orphan submission scheduled",
+            )
+            await call(rude._close)  # vanish mid-sweep, no goodbye
+            await wait_until(
+                lambda: service.stats.executed == 3,
+                message="orphaned jobs finished",
+            )
+            assert service.stats.client_disconnects == 1
+            assert service.stats.orphaned_jobs >= 1
+
+            # A reconnecting client gets every point warm, no recompute.
+            back = SweepClient(config.socket_path, name="back")
+            try:
+                outcome = await call(back.sweep, REQUESTS)
+            finally:
+                await call(back.close)
+            assert outcome.ok
+            assert outcome.sources.get("executed", 0) == 0
+            assert service.stats.executed == 3
+
+        run_service(tmp_path, scenario, worker=_slow_worker)
+
+
+class TestLifecycle:
+    def test_restart_re_serves_finished_points_without_recompute(
+        self, tmp_path
+    ):
+        async def first_life(service, config):
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS)
+            finally:
+                await call(client.close)
+            assert outcome.ok
+            assert service.stats.executed == 3
+
+        run_service(tmp_path, first_life)
+
+        # Second life on the same store, with a worker that would blow
+        # up if anything were recomputed: all three points must come
+        # back as warm cache hits rebuilt from disk.
+        async def second_life(service, config):
+            assert service.stats.recovered_points == 3
+            client = SweepClient(config.socket_path, name="t")
+            try:
+                outcome = await call(client.sweep, REQUESTS)
+            finally:
+                await call(client.close)
+            assert outcome.ok
+            assert outcome.sources == {"cache": 3}
+            assert service.stats.executed == 0
+            assert service.stats.warm_hits == 3
+
+        run_service(tmp_path, second_life, worker=_value_error_worker)
+
+    def test_drain_finishes_in_flight_rejects_new_and_flushes_stats(
+        self, tmp_path
+    ):
+        async def scenario(service, config):
+            client = SweepClient(
+                config.socket_path, name="t",
+                connect_timeout=1.0, retry_delay=0.05,
+            )
+            try:
+                outcome = await call(client.sweep, REQUESTS)
+                assert outcome.ok
+                await call(client.status)  # hold an open connection
+                await service.drain("test")
+                with pytest.raises(ServiceUnavailable):
+                    await call(
+                        client.sweep,
+                        [RunRequest(isa="mom", n_threads=2, scale=1e-5)],
+                    )
+            finally:
+                await call(client.close)
+            payload, status = read_checked_json(
+                os.path.join(config.cache_dir, STATS_FILENAME)
+            )
+            assert status == "ok"
+            assert payload["drained"] is True
+            assert payload["reason"] == "test"
+            assert payload["stats"]["executed"] == 3
+            assert payload["executions"] == log_counts(config.cache_dir)
+
+        run_service(tmp_path, scenario)
