@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Coverage gate: the observability layer stays >= 90 % line-covered.
 
-Runs the tier-1 suite under ``coverage.py`` and enforces two floors:
+Runs the tier-1 suite under ``coverage.py`` and enforces three floors:
 
 * ``src/repro/obs/`` — 90 %.  The observability layer is pure
   measurement code: a hook nobody exercises is a hook that silently
   breaks, so its floor is set at the package's actual test saturation.
+* ``src/repro/serving/`` — 90 %.  The media-server scenario layer
+  (admission, metering, stream scheduling) is golden-pinned end to end;
+  an unexercised branch there is a silent hole in the pins.
 * the whole ``src/repro`` tree — a conservative ratchet floor.  Raise
   it (never lower it) as coverage improves; a PR that drops repo-wide
   coverage below the ratchet fails here rather than eroding quietly.
@@ -18,7 +21,8 @@ HTML report (``--html``) is uploaded as a build artifact there.
 
 Usage:
     PYTHONPATH=src python scripts/check_coverage.py
-        [--obs-floor 90] [--total-floor 75] [--html htmlcov]
+        [--obs-floor 90] [--serving-floor 90] [--total-floor 75]
+        [--html htmlcov]
         [--reuse-data]   # gate an existing .coverage file without rerunning
 """
 
@@ -32,6 +36,7 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OBS_PREFIX = os.path.join("src", "repro", "obs") + os.sep
+SERVING_PREFIX = os.path.join("src", "repro", "serving") + os.sep
 JSON_PATH = os.path.join(REPO_ROOT, "results", "coverage.json")
 
 
@@ -73,6 +78,7 @@ def percent(covered: int, statements: int) -> float:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--obs-floor", type=float, default=90.0)
+    parser.add_argument("--serving-floor", type=float, default=90.0)
     parser.add_argument(
         "--total-floor", type=float, default=75.0,
         help="repo-wide ratchet floor; raise as coverage improves",
@@ -123,10 +129,15 @@ def main(argv: list[str] | None = None) -> int:
         report = json.load(handle)
     files = report["files"]
     obs = percent(*aggregate(files, lambda p: OBS_PREFIX in p))
+    serving = percent(*aggregate(files, lambda p: SERVING_PREFIX in p))
     total = percent(*aggregate(files, lambda p: True))
 
-    print(f"src/repro/obs/  {obs:6.2f}%  (floor {args.obs_floor:.0f}%)")
-    print(f"src/repro       {total:6.2f}%  (floor {args.total_floor:.0f}%)")
+    print(f"src/repro/obs/      {obs:6.2f}%  (floor {args.obs_floor:.0f}%)")
+    print(
+        f"src/repro/serving/  {serving:6.2f}%  "
+        f"(floor {args.serving_floor:.0f}%)"
+    )
+    print(f"src/repro           {total:6.2f}%  (floor {args.total_floor:.0f}%)")
     if args.html:
         print(f"HTML report in {args.html}/")
 
@@ -135,6 +146,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"observability coverage {obs:.2f}% is below the "
             f"{args.obs_floor:.0f}% floor"
+        )
+    if serving < args.serving_floor:
+        failures.append(
+            f"serving coverage {serving:.2f}% is below the "
+            f"{args.serving_floor:.0f}% floor"
         )
     if total < args.total_floor:
         failures.append(

@@ -57,6 +57,7 @@ from repro.analysis import (
     run_fig6_fetch,
     run_fig8_decoupled,
     run_fig9_summary,
+    run_serving_scenario,
     run_stall_breakdown,
     run_table4_cache,
 )
@@ -633,6 +634,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         "salvaging the rest of the sweep",
     )
     parser.add_argument(
+        "--serving", action="store_true",
+        help="also run the media-server scenario: open-loop stream "
+        "traffic over the SMT/CMP×SMT grid with the three admission "
+        "policies (docs/SERVING.md); cached through the same runner",
+    )
+    parser.add_argument(
         "--no-hotloop", action="store_true",
         help="skip the hot-loop re-measurement (used by harnesses that "
         "run many short sweeps)",
@@ -851,6 +858,12 @@ def main(argv=None) -> int:
             # where the fetch/dispatch slots went at the headline 8T
             # point.
             stall_breakdown = timed("stalls", run_stall_breakdown).measured
+            if args.serving:
+                # The media-server scenario (open-loop arrivals over the
+                # serving grid) rides the same cached runner: a warm
+                # rerun simulates nothing and reproduces the report byte
+                # for byte.
+                timed("serving", run_serving_scenario)
         except SweepFailure as failure:
             # Completed points are cached; the checkpoint stays so a
             # rerun resumes instead of restarting.

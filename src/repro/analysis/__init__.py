@@ -37,6 +37,11 @@ from repro.analysis.runner import (
     RunnerStats,
     verify_cache,
 )
+from repro.analysis.serving import (
+    ServingRequest,
+    run_serving_batch,
+    run_serving_scenario,
+)
 
 __all__ = [
     "DEFAULT_SAMPLING",
@@ -60,8 +65,11 @@ __all__ = [
     "run_fig6_fetch",
     "run_fig8_decoupled",
     "run_fig9_summary",
+    "run_serving_batch",
+    "run_serving_scenario",
     "run_stall_breakdown",
     "run_table4_cache",
+    "ServingRequest",
     "simulate",
     "format_table",
     "GOLDEN_SCALE",

@@ -34,6 +34,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.reporting import format_table, paper_vs_measured
 from repro.analysis.runner import Runner
+from repro.analysis.serving import ServingRequest, run_serving_batch
 
 #: Scale every golden is recorded at.  2e-5 keeps the whole golden sweep
 #: (fig4 + fig6 + fig8 + the Table 3 trace walk) under ~30 s serial.
@@ -44,7 +45,7 @@ GOLDEN_SCALE = 2e-5
 #: locked ratios only involve the endpoints.
 GOLDEN_THREADS = (1, 8)
 
-EXPERIMENTS = ("table3", "fig4", "fig6", "fig8")
+EXPERIMENTS = ("table3", "fig4", "fig6", "fig8", "serving")
 
 #: Default tolerance bands (see module docstring for the rationale).
 REL_TOL = 0.02       # absolute metrics: EIPC, Minst totals, mix shares
@@ -153,6 +154,50 @@ def _fetch_policy_metrics(memory: str, scale: float, runner: Runner) -> dict:
     return metrics
 
 
+#: The serving design points a golden locks: the arch/memory face of the
+#: grid under round-robin, plus the two placement policies on the
+#: CMP×SMT machine (where placement genuinely matters).  Listed as
+#: ``(label, arch, cores, contexts, memory, policy)``.
+GOLDEN_SERVING_POINTS = (
+    ("smt8_conv_rr", "smt", 1, 8, "conventional", "rr"),
+    ("cmp4x2_conv_rr", "cmp", 4, 2, "conventional", "rr"),
+    ("cmp4x2_dec_rr", "cmp", 4, 2, "decoupled", "rr"),
+    ("cmp4x2_conv_least", "cmp", 4, 2, "conventional", "least"),
+    ("cmp4x2_conv_affinity", "cmp", 4, 2, "conventional", "affinity"),
+)
+
+
+def _serving_metrics(scale: float, runner: Runner) -> dict:
+    requests = {}
+    for isa in ("mmx", "mom"):
+        for label, arch, cores, contexts, memory, policy in (
+            GOLDEN_SERVING_POINTS
+        ):
+            requests[f"{isa}_{label}"] = ServingRequest(
+                isa=isa,
+                arch=arch,
+                cores=cores,
+                contexts=contexts,
+                memory=memory,
+                policy=policy,
+                scale=scale,
+            )
+    results = run_serving_batch(list(requests.values()), runner)
+    metrics = {}
+    for name, request in requests.items():
+        summary = results[request]["summary"]
+        metrics[f"spm_{name}"] = _metric(
+            summary["streams_per_mcycle"], rel_tol=REL_TOL
+        )
+        metrics[f"p95_{name}"] = _metric(
+            summary["latency_p95"], rel_tol=REL_TOL
+        )
+        metrics[f"miss_{name}"] = _metric(
+            summary["miss_rate"], abs_tol=GAIN_ABS_TOL
+        )
+    return metrics
+
+
 _COMPUTE = {
     "table3": _table3_metrics,
     "fig4": _fig4_metrics,
@@ -162,6 +207,7 @@ _COMPUTE = {
     "fig8": lambda scale, runner: _fetch_policy_metrics(
         "decoupled", scale, runner
     ),
+    "serving": _serving_metrics,
 }
 
 

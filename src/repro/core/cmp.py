@@ -20,12 +20,15 @@ directly comparable EIPC-for-EIPC.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.fetch import FetchPolicy
 from repro.core.metrics import RunResult
 from repro.core.params import Resources, SMTConfig
 from repro.core.smt import SMTProcessor
 from repro.isa.registers import RegisterClass
 from repro.memory.cache import CacheConfig, L2Cache
+from repro.memory.decoupled import DecoupledHierarchy
 from repro.memory.dram import RambusChannel
 from repro.memory.hierarchy import ConventionalHierarchy
 from repro.memory.interface import MemoryStats
@@ -34,6 +37,11 @@ from repro.workloads.multiprog import MultiprogramScheduler
 
 #: Private per-core L1: half the SMT's shared 32 KB (Piranha-style).
 CMP_L1 = CacheConfig("L1D", size=16 << 10, assoc=1, line=32, banks=4, latency=1)
+
+#: Memory hierarchies a CMP core can be built with.  Both share the
+#: system L2 and DRDRAM channel; only the per-core L1 side differs
+#: (private conventional L1 vs the decoupled scalar/vector split).
+CMP_MEMORY_KINDS = ("conventional", "decoupled")
 
 #: Per-core resources: a modest 4-wide-ish out-of-order core.
 CMP_CORE_RESOURCES = Resources(
@@ -49,16 +57,46 @@ CMP_CORE_RESOURCES = Resources(
 )
 
 
-def cmp_core_config(isa: str) -> SMTConfig:
+def cmp_core_resources(contexts: int = 1) -> Resources:
+    """Per-core resources, scaled for ``contexts`` SMT contexts.
+
+    A single-context core is exactly :data:`CMP_CORE_RESOURCES`.  Adding
+    hardware contexts grows rename registers, issue queues and the
+    graduation window sublinearly (factor ``1 + (contexts - 1) / 2`` —
+    shared structures amortize, the SMT argument), so per-context share
+    shrinks as contexts are added while totals grow monotonically.
+    """
+    if contexts < 1:
+        raise ValueError("need at least one hardware context per core")
+    if contexts == 1:
+        return CMP_CORE_RESOURCES
+    factor = 1 + (contexts - 1) / 2
+    return Resources(
+        rename_regs={
+            cls: int(count * factor)
+            for cls, count in CMP_CORE_RESOURCES.rename_regs.items()
+        },
+        queue_sizes={
+            name: int(size * factor)
+            for name, size in CMP_CORE_RESOURCES.queue_sizes.items()
+        },
+        graduation_window=int(CMP_CORE_RESOURCES.graduation_window * factor),
+    )
+
+
+def cmp_core_config(isa: str, contexts: int = 1) -> SMTConfig:
     """The configuration of one CMP core.
 
     Narrower than the SMT machine everywhere: one 4-instruction fetch
     group, half the issue bandwidth, one µ-SIMD FU (or a single-lane MOM
-    pipe) — the "simple processors" CMP proposals join on a die.
+    pipe) — the "simple processors" CMP proposals join on a die.  With
+    ``contexts > 1`` the core is itself a small SMT (the CMP×SMT design
+    point the serving scenario sweeps): pipeline widths stay fixed,
+    shared resources scale per :func:`cmp_core_resources`.
     """
     return SMTConfig(
         isa=isa,
-        n_threads=1,
+        n_threads=contexts,
         fetch_groups=1,
         fetch_group_size=4,
         dispatch_width=4,
@@ -68,7 +106,7 @@ def cmp_core_config(isa: str) -> SMTConfig:
         issue_fp=2,
         issue_simd=1,
         vector_lanes=2,
-        resources=CMP_CORE_RESOURCES,
+        resources=cmp_core_resources(contexts),
     )
 
 
@@ -83,26 +121,58 @@ class CmpSystem:
         completions_target: int = 8,
         max_cycles: int = 50_000_000,
         warmup_fraction: float = 0.3,
+        contexts_per_core: int = 1,
+        memory: str = "conventional",
+        sanitize: bool = False,
+        observe=None,
+        scheduler=None,
     ):
         if n_cores < 1:
             raise ValueError("need at least one core")
+        if memory not in CMP_MEMORY_KINDS:
+            raise ValueError(
+                f"unknown CMP memory kind {memory!r}; "
+                f"expected one of {CMP_MEMORY_KINDS}"
+            )
+        if observe not in (None, False, True, "metrics"):
+            # A ready observer instance would be shared by every core and
+            # its per-thread records would collide across cores.  Each
+            # core builds its own from the spec instead.
+            raise ValueError(
+                "CmpSystem accepts only observer *specs* "
+                "(None/False/True/'metrics'): each core builds a private "
+                "observer; per-core snapshots are merged under "
+                "result.observability['cores']"
+            )
         self.n_cores = n_cores
+        self.contexts_per_core = contexts_per_core
         self.max_cycles = max_cycles
         self.dram = RambusChannel()
         self.l2 = L2Cache(self.dram)
-        self.scheduler = MultiprogramScheduler(
-            traces, n_cores, completions_target=completions_target
+        self.scheduler = scheduler or MultiprogramScheduler(
+            traces,
+            n_cores * contexts_per_core,
+            completions_target=completions_target,
         )
+        config = cmp_core_config(isa, contexts_per_core)
+        if sanitize or observe not in (None, False):
+            config = dataclasses.replace(
+                config, sanitize=sanitize, observe=observe
+            )
         self.cores: list[SMTProcessor] = []
         for __ in range(n_cores):
-            memory = ConventionalHierarchy(
-                n_ports=2, l1_config=CMP_L1, l2=self.l2
-            )
-            # Each core's constructor pulls its initial program from the
-            # shared scheduler, so core i starts workload slot i.
+            if memory == "decoupled":
+                hierarchy = DecoupledHierarchy(l2=self.l2, dram=self.dram)
+            else:
+                hierarchy = ConventionalHierarchy(
+                    n_ports=2, l1_config=CMP_L1, l2=self.l2
+                )
+            # Each core's constructor pulls its initial programs from the
+            # shared scheduler, so core i starts workload slots
+            # [i*contexts, (i+1)*contexts).
             core = SMTProcessor(
-                cmp_core_config(isa),
-                memory,
+                config,
+                hierarchy,
                 traces,
                 fetch_policy=FetchPolicy.RR,
                 max_cycles=max_cycles,
@@ -121,15 +191,59 @@ class CmpSystem:
         equiv = sum(core.committed_equiv for core in self.cores)
         return committed, equiv
 
+    def step_cycle(self) -> bool:
+        """Advance every core one lockstep cycle; True if any worked.
+
+        External drivers (``repro.serving``) interleave arrivals and
+        departures between calls; :meth:`run` uses the same primitive.
+        """
+        worked = False
+        for core in self.cores:
+            core.now = self.now
+            if core.step():
+                worked = True
+        if not self.scheduler.done:
+            # SMTProcessor.step returns before advancing its clock once
+            # the scheduler finishes; mirroring that here keeps a 1-core
+            # system cycle-identical to a standalone core.
+            self.now += 1
+        return worked
+
+    def idle_skip_target(self) -> int | None:
+        """Earliest cycle any busy core can make progress, or None.
+
+        None means every hardware context in the system is idle — a
+        driver may jump ``now`` straight to its next external event.
+        """
+        targets = [
+            core._skip_target()
+            for core in self.cores
+            if any(ctx.trace is not None for ctx in core.threads)
+        ]
+        if not targets:
+            return None
+        return min(targets)
+
+    def finalize(self) -> None:
+        """Run end-of-simulation invariant checks on every core."""
+        for core in self.cores:
+            core._finalize_sanitizer()
+
+    def observability(self) -> dict | None:
+        """Merged per-core observer snapshots (None when unobserved)."""
+        snapshots = []
+        for core in self.cores:
+            observer = core.observer
+            if observer is not None:
+                snapshots.append(observer.snapshot())
+        if not snapshots:
+            return None
+        return {"cores": snapshots}
+
     def run(self) -> RunResult:
         """Step all cores in lockstep until the completion target."""
         while not self.scheduler.done and self.now < self.max_cycles:
-            worked = False
-            for core in self.cores:
-                core.now = self.now
-                if core.step():
-                    worked = True
-            self.now += 1
+            worked = self.step_cycle()
             if not self._warm:
                 committed, equiv = self._total_committed()
                 if committed >= self._warmup_commits:
@@ -138,17 +252,14 @@ class CmpSystem:
                     for core in self.cores:
                         core.memory.reset_stats()
             if not worked:
-                targets = [
-                    core._skip_target()
-                    for core in self.cores
-                    if core.threads[0].trace is not None
-                ]
-                if targets:
-                    self.now = max(self.now, min(targets))
+                target = self.idle_skip_target()
+                if target is not None:
+                    self.now = max(self.now, target)
         if self.now >= self.max_cycles:
             raise RuntimeError(
                 f"CMP simulation exceeded {self.max_cycles} cycles"
             )
+        self.finalize()
         base_cycles, base_committed, base_equiv = self._base
         committed, equiv = self._total_committed()
         memory = self._merged_memory_stats()
@@ -156,7 +267,7 @@ class CmpSystem:
         lookups = sum(core.predictor.lookups for core in self.cores)
         return RunResult(
             isa=self.cores[0].config.isa,
-            n_threads=self.n_cores,
+            n_threads=self.n_cores * self.contexts_per_core,
             fetch_policy="cmp",
             cycles=self.now - base_cycles,
             committed_instructions=committed - base_committed,
@@ -164,6 +275,7 @@ class CmpSystem:
             program_completions=self.scheduler.completions,
             memory=memory,
             mispredict_rate=mispredicts / lookups if lookups else 0.0,
+            observability=self.observability(),
         )
 
     def _merged_memory_stats(self) -> MemoryStats:

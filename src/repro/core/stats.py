@@ -65,6 +65,25 @@ def mean_ci95(samples: list[float]) -> tuple[float, float]:
     return mean, half
 
 
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``samples``.
+
+    The serving scenario's latency tails (p50/p95/p99) use the
+    nearest-rank definition — ``ceil(fraction * n)``-th smallest value —
+    because it always returns an observed sample: no interpolation, so
+    integer cycle counts stay integers and pinned goldens stay exact.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    if fraction == 0.0:
+        return ordered[0]
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[rank - 1]
+
+
 @dataclass
 class PipelineStats:
     """Aggregated per-cycle samples from one instrumented run."""

@@ -47,10 +47,13 @@ class DecoupledHierarchy(MemorySystem):
         n_vector_ports: int = 2,
         write_buffer_depth: int = 8,
         dram: RambusChannel | None = None,
+        l2: L2Cache | None = None,
     ):
         super().__init__()
-        self.dram = dram or RambusChannel()
-        self.l2 = L2Cache(self.dram)
+        # An injected l2 is shared (CMP cores over one system L2); the
+        # default builds a private one, as ConventionalHierarchy does.
+        self.dram = dram or (l2.dram if l2 is not None else RambusChannel())
+        self.l2 = l2 or L2Cache(self.dram)
         self.l1 = L1DataCache(
             self.l2, config=L1_DECOUPLED, write_buffer_depth=write_buffer_depth
         )

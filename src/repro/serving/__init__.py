@@ -1,0 +1,31 @@
+"""Open-loop media-serving scenario over CMP cores × SMT contexts.
+
+The paper's motivating workload is a server decoding and encoding many
+concurrent media streams.  This package turns the closed-loop EIPC
+machinery into that served system: ``repro.workloads.streams`` generates
+deterministic open-loop arrivals, :mod:`repro.serving.admission` maps
+streams onto (core, context) slots under a scheduling policy,
+:mod:`repro.serving.simulator` drives the machine cycle-by-cycle
+interleaving arrivals and departures, and :mod:`repro.serving.metering`
+reduces the per-stream records to latency tails, deadline-miss rates and
+sustained throughput.  Everything is a pure function of the request —
+see docs/SERVING.md for the determinism contract.
+"""
+
+from repro.serving.admission import ADMISSION_POLICIES, AdmissionController, Slot
+from repro.serving.metering import meter_result
+from repro.serving.simulator import (
+    ServingSimulator,
+    build_serving_machine,
+    derive_interarrival,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "Slot",
+    "ServingSimulator",
+    "build_serving_machine",
+    "derive_interarrival",
+    "meter_result",
+]

@@ -1,0 +1,183 @@
+"""Admission control: mapping arriving streams onto hardware slots.
+
+A serving machine exposes ``n_cores × contexts_per_core`` hardware slots.
+The admission controller decides, per arriving stream, whether to start
+it immediately (and where), hold it in a bounded FIFO queue, or reject
+it — the three outcomes the conservation property test asserts are
+exhaustive.  Three policies are modelled (the SIMD-pipeline scheduling
+comparison in PAPERS.md motivates treating the policy as a first-class
+variable):
+
+``rr``
+    Round-robin: scan slots from a rotating cursor, take the first free
+    one.  Spreads work without inspecting load.
+``least``
+    Least-loaded: place on the core with the fewest busy contexts
+    (lowest core index breaks ties), lowest free context within it.
+    Balances L1 pressure across cores.
+``affinity``
+    Program affinity: prefer a free slot that last ran the *same*
+    program — ``physical_address`` salts addresses per context, so only
+    the exact slot re-uses a warm L1 working set — falling back to
+    least-loaded placement.
+
+All tie-breaks are index-ordered, never iteration-order over sets, so
+every policy is deterministic (codelint DET contract).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.workloads.streams import StreamDescriptor
+
+#: Supported admission policies, in report order.
+ADMISSION_POLICIES = ("rr", "least", "affinity")
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One hardware context: ``core``'s SMT context ``context``."""
+
+    core: int
+    context: int
+
+
+class AdmissionController:
+    """Tracks slot occupancy and admits/queues/rejects arriving streams."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        contexts_per_core: int,
+        policy: str = "rr",
+        queue_limit: int = 8,
+    ):
+        if n_cores < 1 or contexts_per_core < 1:
+            raise ValueError("need at least one core and one context")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.n_cores = n_cores
+        self.contexts_per_core = contexts_per_core
+        self.policy = policy
+        self.queue_limit = queue_limit
+        # Core-major slot order: slot index = core * contexts + context.
+        self.slots = [
+            Slot(core, context)
+            for core in range(n_cores)
+            for context in range(contexts_per_core)
+        ]
+        self._free = [True] * len(self.slots)
+        self._busy_per_core = [0] * n_cores
+        self._last_program: list[str | None] = [None] * len(self.slots)
+        self._cursor = 0
+        self.queue: deque[StreamDescriptor] = deque()
+        self.offered = 0
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = 0
+
+    # ----- occupancy -------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def busy(self) -> int:
+        return self.n_slots - sum(self._free)
+
+    def _index(self, slot: Slot) -> int:
+        return slot.core * self.contexts_per_core + slot.context
+
+    # ----- placement policies ---------------------------------------------
+
+    def _place_rr(self) -> int | None:
+        for offset in range(self.n_slots):
+            index = (self._cursor + offset) % self.n_slots
+            if self._free[index]:
+                self._cursor = (index + 1) % self.n_slots
+                return index
+        return None
+
+    def _place_least(self) -> int | None:
+        best_core = -1
+        best_busy = self.contexts_per_core + 1
+        for core in range(self.n_cores):
+            busy = self._busy_per_core[core]
+            if busy < self.contexts_per_core and busy < best_busy:
+                best_core = core
+                best_busy = busy
+        if best_core < 0:
+            return None
+        base = best_core * self.contexts_per_core
+        for context in range(self.contexts_per_core):
+            if self._free[base + context]:
+                return base + context
+        return None
+
+    def _place_affinity(self, program: str) -> int | None:
+        for index in range(self.n_slots):
+            if self._free[index] and self._last_program[index] == program:
+                return index
+        return self._place_least()
+
+    def _place(self, stream: StreamDescriptor) -> int | None:
+        if self.policy == "rr":
+            return self._place_rr()
+        if self.policy == "least":
+            return self._place_least()
+        return self._place_affinity(stream.program)
+
+    # ----- the three outcomes ---------------------------------------------
+
+    def _claim(self, index: int, stream: StreamDescriptor) -> Slot:
+        self._free[index] = False
+        slot = self.slots[index]
+        self._busy_per_core[slot.core] += 1
+        self._last_program[index] = stream.program
+        self.admitted += 1
+        return slot
+
+    def offer(self, stream: StreamDescriptor) -> tuple[str, Slot | None]:
+        """Present an arriving stream; returns (outcome, slot-or-None).
+
+        Outcome is exactly one of ``"admitted"`` (slot returned),
+        ``"queued"`` or ``"rejected"`` (queue full).
+        """
+        self.offered += 1
+        index = self._place(stream)
+        if index is not None:
+            return "admitted", self._claim(index, stream)
+        if len(self.queue) < self.queue_limit:
+            self.queue.append(stream)
+            self.queued += 1
+            return "queued", None
+        self.rejected += 1
+        return "rejected", None
+
+    def release(self, slot: Slot) -> tuple[StreamDescriptor, Slot] | None:
+        """Free a slot; if a stream is queued, admit it immediately.
+
+        Returns ``(stream, slot)`` for the promoted queue head, or None
+        when the queue is empty.  The freed slot goes back through the
+        policy (the queue head need not land on it — affinity may prefer
+        a different free slot).
+        """
+        index = self._index(slot)
+        if self._free[index]:
+            raise ValueError(f"slot {slot} is not busy")
+        self._free[index] = True
+        self._busy_per_core[slot.core] -= 1
+        if not self.queue:
+            return None
+        stream = self.queue.popleft()
+        placed = self._place(stream)
+        # A slot was just freed, so placement cannot fail.
+        return stream, self._claim(placed, stream)

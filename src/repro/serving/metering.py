@@ -1,0 +1,116 @@
+"""Reduce per-stream serving records to the headline serving metrics.
+
+Everything returned is plain JSON types (the analysis layer stores it in
+the checksummed runcache and pins canonical hashes of it), and every
+aggregate is computed in deterministic order — per-stream records are
+already in completion order, per-program tables are emitted in sorted
+program-name order.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import percentile
+
+
+def _rate(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def _cache_rates(stats) -> dict:
+    """Hit rates from a MemoryStats container (JSON-safe floats)."""
+    return {
+        "l1_hit_rate": _rate(stats.l1.hits, stats.l1.accesses),
+        "icache_hit_rate": _rate(stats.icache.hits, stats.icache.accesses),
+        "l2_hit_rate": _rate(stats.l2.hits, stats.l2.accesses),
+    }
+
+
+def meter_result(raw: dict, machine, admission) -> dict:
+    """Meter one finished serving run into the reported result dict.
+
+    ``raw`` is :meth:`ServingSimulator.run`'s output; ``machine`` and
+    ``admission`` are the finished instances the metrics are harvested
+    from.  Deadline misses count streams that *completed late*; the
+    ``unserved_rate`` additionally folds in outright rejections — the
+    user-visible failure probability of the design point.
+    """
+    streams = raw["streams"]
+    rejected = raw["rejected"]
+    cycles = raw["cycles"]
+    latencies = [float(record["latency"]) for record in streams]
+    waits = [record["queue_wait"] for record in streams]
+    missed = sum(1 for record in streams if record["missed"])
+    offered = len(streams) + len(rejected)
+    committed = sum(core.committed for core in machine.cores)
+    equivalent = sum(core.committed_equiv for core in machine.cores)
+    summary = {
+        "offered": offered,
+        "completed": len(streams),
+        "rejected": len(rejected),
+        "missed": missed,
+        "miss_rate": _rate(missed, len(streams)),
+        "unserved_rate": _rate(missed + len(rejected), offered),
+        "queued": admission.queued,
+        "latency_p50": percentile(latencies, 0.50) if latencies else 0.0,
+        "latency_p95": percentile(latencies, 0.95) if latencies else 0.0,
+        "latency_p99": percentile(latencies, 0.99) if latencies else 0.0,
+        "latency_mean": _rate(sum(latencies), len(latencies)),
+        "queue_wait_mean": _rate(sum(waits), len(waits)),
+        "queue_wait_max": max(waits) if waits else 0,
+        "streams_per_mcycle": _rate(len(streams), cycles / 1e6),
+        "cycles": cycles,
+        "committed_instructions": committed,
+        "eipc": _rate(equivalent, cycles),
+    }
+    per_program: dict[str, dict] = {}
+    for record in streams:
+        entry = per_program.setdefault(
+            record["program"],
+            {"completed": 0, "missed": 0, "latency_sum": 0, "committed": 0},
+        )
+        entry["completed"] += 1
+        entry["missed"] += int(record["missed"])
+        entry["latency_sum"] += record["latency"]
+        entry["committed"] += record["committed"]
+    for rejection in rejected:
+        entry = per_program.setdefault(
+            rejection["program"],
+            {"completed": 0, "missed": 0, "latency_sum": 0, "committed": 0},
+        )
+        entry["rejected"] = entry.get("rejected", 0) + 1
+    programs = {}
+    for name in sorted(per_program):
+        entry = per_program[name]
+        programs[name] = {
+            "completed": entry["completed"],
+            "missed": entry["missed"],
+            "rejected": entry.get("rejected", 0),
+            "latency_mean": _rate(entry["latency_sum"], entry["completed"]),
+            "committed": entry["committed"],
+        }
+    stall_totals: dict[str, int] = {}
+    for record in streams:
+        for cause, count in record["stalls"].items():
+            stall_totals[cause] = stall_totals.get(cause, 0) + count
+    merged = machine.cores[0].memory.stats
+    if len(machine.cores) > 1:
+        # CMP: per-core private stats plus the shared L2 (CmpSystem
+        # merges them the same way for its RunResult).
+        merged = machine._merged_memory_stats()
+    return {
+        "summary": summary,
+        "per_program": programs,
+        "stall_totals": {
+            cause: stall_totals[cause] for cause in sorted(stall_totals)
+        },
+        "memory": _cache_rates(merged),
+        "admission": {
+            "policy": admission.policy,
+            "offered": admission.offered,
+            "admitted": admission.admitted,
+            "queued": admission.queued,
+            "rejected": admission.rejected,
+        },
+        "streams": streams,
+        "rejected_streams": raw["rejected"],
+    }

@@ -4,14 +4,30 @@ from repro.workloads.mediabench import (
     BenchmarkProgram,
     MEDIABENCH_PROGRAMS,
     WORKLOAD_ORDER,
+    build_stream_trace_variants,
     build_workload_traces,
 )
 from repro.workloads.multiprog import MultiprogramScheduler
+from repro.workloads.streams import (
+    CODE_BASE_STRIDE,
+    SERVING_MIXES,
+    STREAM_DEADLINE_SLACK,
+    StreamDescriptor,
+    generate_stream_schedule,
+    rebase_trace,
+)
 
 __all__ = [
     "BenchmarkProgram",
     "MEDIABENCH_PROGRAMS",
     "WORKLOAD_ORDER",
+    "build_stream_trace_variants",
     "build_workload_traces",
     "MultiprogramScheduler",
+    "CODE_BASE_STRIDE",
+    "SERVING_MIXES",
+    "STREAM_DEADLINE_SLACK",
+    "StreamDescriptor",
+    "generate_stream_schedule",
+    "rebase_trace",
 ]

@@ -119,6 +119,47 @@ def build_workload_traces(
     return traces
 
 
+def build_stream_trace_variants(
+    isa: str,
+    needed: dict[str, int],
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    cache=None,
+) -> dict[str, list[Trace]]:
+    """Per-program trace variants for concurrent serving streams.
+
+    ``needed`` maps program name to how many distinct instances the
+    open-loop schedule requires.  Variant ``v`` uses seed ``seed + 7*v``
+    — the same per-instance scheme as :func:`build_workload_traces`, so
+    variant 0 of every program (and variant 1 of mpeg2dec) shares trace
+    -cache entries with the closed-loop workload.  Distinct variants
+    matter for correctness, not just realism: two concurrent streams
+    running one identical trace walk the same pc sequence in lockstep,
+    and their thread-salted I-cache lines can phase-lock into a
+    permanent conflict-miss cycle.
+    """
+    if isa not in ("mmx", "mom"):
+        raise ValueError(f"unknown ISA {isa!r}")
+    variants: dict[str, list[Trace]] = {}
+    for name in sorted(needed):
+        if name not in MEDIABENCH_PROGRAMS:
+            raise ValueError(f"unknown program {name!r}")
+        variants[name] = []
+        for instance in range(needed[name]):
+            program_seed = seed + 7 * instance
+            if cache is not None:
+                variants[name].append(
+                    cache.get(name, isa, scale, program_seed)
+                )
+            else:
+                variants[name].append(
+                    build_program_trace(
+                        name, isa, scale=scale, seed=program_seed
+                    )
+                )
+    return variants
+
+
 def workload_total_minsts(isa: str) -> float:
     """Paper-scale workload instruction total (millions) for one ISA."""
     from repro.tracegen.mixes import predicted_counts

@@ -1,0 +1,182 @@
+"""Open-loop stream traffic: codec jobs arriving on a seeded schedule.
+
+The closed-loop §5.1 methodology (``multiprog.py``) always keeps every
+hardware context busy; a media *server* sees the opposite regime —
+streams arrive when users connect, queue when the machine is full, and
+carry deadlines (a decoder that finishes after its presentation time
+has already glitched).  This module defines the traffic side of the
+serving scenario: stream descriptors with per-codec deadline slack and
+a deterministic Poisson-like arrival generator.
+
+Determinism contract (docs/SERVING.md): all randomness flows through
+one explicitly seeded ``random.Random(seed)`` instance — the schedule
+is a pure function of ``(n_streams, mean_interarrival, seed, mix)`` —
+and arrivals are strictly increasing by construction, so no tie-break
+depends on iteration order.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.isa.instruction import Instruction
+from repro.tracegen.program import Trace
+from repro.workloads.mediabench import MEDIABENCH_PROGRAMS
+
+#: Byte distance between successive streams' code bases (8 I-cache
+#: lines).  Page-offset bits pass through address translation untouched,
+#: so with a shared code base every program's hot loop competes for the
+#: handful of cache sets selected by the pfn hash alone; three streams
+#: drawing the same page colour then thrash a 2-way set forever.  Real
+#: server processes are not loaded at one address — spacing stream code
+#: bases apart restores that diversity.
+CODE_BASE_STRIDE = 256
+
+#: Per-program deadline slack: the deadline is ``arrival + slack *
+#: expanded_length`` cycles — i.e. the stream must finish within
+#: ``slack`` times its standalone service estimate (the trace's
+#: stream-expanded instruction count at EIPC 1.0).  Decoders are tight
+#: (playback deadlines are user-visible), encoders and the renderer are
+#: batch-like and tolerate more queueing.
+STREAM_DEADLINE_SLACK: dict[str, float] = {
+    "mpeg2dec": 4.0,
+    "jpegdec": 4.0,
+    "gsmdec": 3.0,
+    "mpeg2enc": 8.0,
+    "jpegenc": 6.0,
+    "gsmenc": 5.0,
+    "mesa": 8.0,
+}
+
+#: Named traffic mixes as ``(program, weight)`` tuples (ordered — the
+#: weighted draw must not depend on dict iteration).  ``mixed`` models
+#: a general media portal (decode-heavy, as served traffic is); the
+#: narrow mixes stress one codec family.
+SERVING_MIXES: dict[str, tuple[tuple[str, int], ...]] = {
+    "mixed": (
+        ("mpeg2dec", 4),
+        ("jpegdec", 2),
+        ("gsmdec", 2),
+        ("mpeg2enc", 1),
+        ("jpegenc", 1),
+        ("gsmenc", 1),
+        ("mesa", 1),
+    ),
+    "video": (
+        ("mpeg2dec", 3),
+        ("mpeg2enc", 1),
+    ),
+    "audio": (
+        ("gsmdec", 3),
+        ("gsmenc", 1),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StreamDescriptor:
+    """One codec job of the open-loop traffic."""
+
+    stream_id: int
+    #: Mediabench program name (``repro.workloads.mediabench``).
+    program: str
+    #: Arrival cycle (strictly increasing across a schedule, >= 1 so
+    #: every stream flows through admission, never a constructor).
+    arrival: int
+    #: Deadline slack multiplier over the standalone service estimate
+    #: (see :data:`STREAM_DEADLINE_SLACK`).
+    deadline_slack: float
+
+    def deadline(self, expanded_length: int) -> int:
+        """Absolute deadline cycle for a trace of ``expanded_length``."""
+        return self.arrival + max(1, int(self.deadline_slack * expanded_length))
+
+
+def rebase_trace(trace: Trace, byte_offset: int) -> Trace:
+    """Clone ``trace`` with its code region moved by ``byte_offset``.
+
+    Every pc (and branch target — also a code address) shifts by the
+    same amount; data addresses, register operands and stream shapes are
+    untouched, so the rebased trace performs identical work through a
+    differently-placed code image.  ``byte_offset`` must be a multiple
+    of 32 (the I-cache line size) so fetch-group line boundaries fall
+    between the same instructions as in the original.
+    """
+    if byte_offset == 0:
+        return trace
+    if byte_offset < 0 or byte_offset % 32:
+        raise ValueError("byte_offset must be a non-negative multiple of 32")
+    instructions = []
+    for inst in trace.instructions:
+        clone = Instruction(
+            op=inst.op,
+            pc=inst.pc + byte_offset,
+            dst=inst.dst,
+            srcs=inst.srcs,
+            mem_addr=inst.mem_addr,
+            mem_size=inst.mem_size,
+            stream_length=inst.stream_length,
+            stride=inst.stride,
+            taken=inst.taken,
+            target=inst.target + byte_offset if inst.is_branch else inst.target,
+            equiv_mmx=inst.equiv_mmx,
+        )
+        instructions.append(clone)
+    return dc_replace(trace, instructions=instructions)
+
+
+def generate_stream_schedule(
+    n_streams: int,
+    mean_interarrival: int,
+    seed: int = 0,
+    mix: str = "mixed",
+    slack_scale: float = 1.0,
+) -> list[StreamDescriptor]:
+    """Deterministic Poisson-like arrival schedule.
+
+    Inter-arrival gaps are exponential draws (inverse-CDF over the
+    seeded generator's uniforms) floored at one cycle; programs are
+    weighted draws from the named ``mix``.  Two calls with equal
+    arguments return equal schedules on any platform or hash seed.
+    """
+    if n_streams < 1:
+        raise ValueError("need at least one stream")
+    if mean_interarrival < 1:
+        raise ValueError("mean inter-arrival must be >= 1 cycle")
+    if mix not in SERVING_MIXES:
+        raise ValueError(
+            f"unknown serving mix {mix!r}; expected one of "
+            f"{tuple(sorted(SERVING_MIXES))}"
+        )
+    if slack_scale <= 0:
+        raise ValueError("slack_scale must be positive")
+    weighted = SERVING_MIXES[mix]
+    for name, __ in weighted:
+        if name not in MEDIABENCH_PROGRAMS:
+            raise ValueError(f"mix {mix!r} names unknown program {name!r}")
+    total_weight = sum(weight for __, weight in weighted)
+    rng = random.Random(seed)
+    schedule: list[StreamDescriptor] = []
+    now = 0
+    for stream_id in range(n_streams):
+        # 1 - random() is in (0, 1], so the log argument never hits 0.
+        gap = 1 + int(-math.log(1.0 - rng.random()) * mean_interarrival)
+        now += gap
+        draw = rng.random() * total_weight
+        program = weighted[-1][0]
+        for name, weight in weighted:
+            if draw < weight:
+                program = name
+                break
+            draw -= weight
+        schedule.append(
+            StreamDescriptor(
+                stream_id=stream_id,
+                program=program,
+                arrival=now,
+                deadline_slack=STREAM_DEADLINE_SLACK[program] * slack_scale,
+            )
+        )
+    return schedule

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core import SMTConfig, SMTProcessor
-from repro.core.cmp import CMP_L1, CmpSystem, cmp_core_config
+from repro.core.cmp import (
+    CMP_CORE_RESOURCES,
+    CMP_L1,
+    CmpSystem,
+    cmp_core_config,
+    cmp_core_resources,
+)
+from repro.core.fetch import FetchPolicy
 from repro.memory import ConventionalHierarchy
 from repro.workloads import build_workload_traces
 
@@ -102,3 +109,146 @@ class TestCmpSystem:
             results[0].committed_instructions
             == results[1].committed_instructions
         )
+
+
+class TestResourceScaling:
+    def test_single_context_is_the_base_core(self):
+        assert cmp_core_resources(1) is CMP_CORE_RESOURCES
+
+    def test_totals_grow_share_shrinks(self):
+        def totals(resources):
+            return (
+                sum(resources.rename_regs.values()),
+                sum(resources.queue_sizes.values()),
+                resources.graduation_window,
+            )
+
+        previous = None
+        for contexts in (1, 2, 4, 8):
+            resources = cmp_core_resources(contexts)
+            current = totals(resources)
+            if previous is not None:
+                # Totals grow monotonically with added contexts...
+                assert all(c >= p for c, p in zip(current, previous))
+                # ...but sublinearly: the per-context share shrinks.
+                assert all(
+                    c / contexts < p / (contexts // 2)
+                    for c, p in zip(current, previous)
+                )
+            previous = current
+
+    def test_widths_fixed_across_contexts(self):
+        narrow = cmp_core_config("mmx", 1)
+        wide = cmp_core_config("mmx", 4)
+        assert wide.n_threads == 4
+        for name in ("fetch_width", "dispatch_width", "issue_int",
+                     "issue_simd", "commit_width"):
+            assert getattr(wide, name) == getattr(narrow, name)
+        assert (
+            sum(wide.resources.rename_regs.values())
+            > sum(narrow.resources.rename_regs.values())
+        )
+
+    def test_context_count_validated(self):
+        with pytest.raises(ValueError):
+            cmp_core_resources(0)
+
+
+class TestLockstepEquivalence:
+    def test_one_core_system_matches_standalone_core(self):
+        """A 1-core, 1-context CmpSystem is exactly one CMP core: the
+        lockstep wrapper must add zero cycles and zero commits."""
+        system = CmpSystem(
+            "mmx", 1, build_workload_traces("mmx", scale=SCALE),
+            warmup_fraction=0.0,
+        )
+        system_result = system.run()
+        standalone = SMTProcessor(
+            cmp_core_config("mmx"),
+            ConventionalHierarchy(n_ports=2, l1_config=CMP_L1),
+            build_workload_traces("mmx", scale=SCALE),
+            fetch_policy=FetchPolicy.RR,
+            warmup_fraction=0.0,
+        )
+        standalone_result = standalone.run()
+        assert system_result.cycles == standalone_result.cycles
+        assert (
+            system_result.committed_instructions
+            == standalone_result.committed_instructions
+        )
+        assert system_result.eipc == pytest.approx(standalone_result.eipc)
+
+
+class TestCmpSmt:
+    def test_contexts_per_core_runs_and_reports_total_threads(self):
+        result = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+            contexts_per_core=2,
+        ).run()
+        assert result.program_completions == 8
+        assert result.n_threads == 4
+
+    def test_cmp_smt_beats_pure_cmp_at_equal_cores(self):
+        # Two extra contexts per core hide stalls the single-context
+        # cores eat; with the same core count throughput must not drop.
+        single = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE)
+        ).run()
+        smt = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+            contexts_per_core=2,
+        ).run()
+        assert smt.eipc > single.eipc
+
+    def test_decoupled_memory_kind(self):
+        system = CmpSystem(
+            "mom", 2, build_workload_traces("mom", scale=SCALE),
+            memory="decoupled",
+        )
+        assert all(core.memory.l2 is system.l2 for core in system.cores)
+        assert all(core.memory.dram is system.dram for core in system.cores)
+        assert system.run().program_completions == 8
+
+    def test_memory_kind_validated(self):
+        with pytest.raises(ValueError, match="memory kind"):
+            CmpSystem(
+                "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+                memory="perfect",
+            )
+
+
+class TestSanitizeAndObserve:
+    def test_sanitized_run_is_clean(self):
+        result = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+            sanitize=True,
+        ).run()
+        assert result.program_completions == 8
+
+    def test_observe_metrics_merges_per_core_snapshots(self):
+        system = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+            observe="metrics",
+        )
+        result = system.run()
+        assert result.observability is not None
+        snapshots = result.observability["cores"]
+        assert len(snapshots) == 2
+        for snapshot in snapshots:
+            assert isinstance(snapshot["metrics"], dict)
+            assert snapshot["metrics"], "metrics-mode snapshots carry data"
+
+    def test_unobserved_run_reports_no_observability(self):
+        result = CmpSystem(
+            "mmx", 2, build_workload_traces("mmx", scale=SCALE)
+        ).run()
+        assert result.observability is None
+
+    def test_observer_instances_rejected(self):
+        from repro.obs.events import PipelineObserver
+
+        with pytest.raises(ValueError, match="observer"):
+            CmpSystem(
+                "mmx", 2, build_workload_traces("mmx", scale=SCALE),
+                observe=PipelineObserver(),
+            )

@@ -147,6 +147,43 @@ def test_sharded_pins_pin_their_fingerprints():
         ), name
 
 
+# ----- serving bit-identity pins ---------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(load_bitident()["serving_runs"]))
+def test_serving_run_reproduces_pinned_hash(name):
+    """A serving result is a pure function of its request: re-executing
+    the pinned request must reproduce the recorded canonical JSON hash
+    bit for bit."""
+    from repro.analysis.serving import ServingRequest, execute_serving_request
+
+    pinned = load_bitident()["serving_runs"][name]
+    request = ServingRequest(**pinned["request"])
+    result = execute_serving_request(request)
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    assert hashlib.sha256(blob.encode()).hexdigest() == pinned["result_sha256"]
+    assert result["summary"]["cycles"] == pinned["cycles"]
+    assert result["summary"]["completed"] == pinned["completed"]
+    assert result["summary"]["missed"] == pinned["missed"]
+
+
+def test_serving_pins_pin_their_fingerprints():
+    # Frozen under pinned version strings so unrelated source edits do
+    # not churn this file — only a deliberate request-schema change does.
+    from repro.analysis.serving import ServingRequest
+
+    document = load_bitident()
+    for name, pinned in document["serving_runs"].items():
+        request = ServingRequest(**pinned["request"])
+        assert (
+            request.fingerprint(
+                document["pinned_version"],
+                document["serving_pinned_version"],
+            )
+            == pinned["fingerprint_pinned"]
+        ), name
+
+
 # ----- the comparator itself -------------------------------------------------
 
 
